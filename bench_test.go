@@ -1,0 +1,206 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per experiment row of DESIGN.md §3). Absolute times depend on the host;
+// the *shape* — layered beating centralized, worker scaling, spam metrics
+// — is asserted by the test suite and recorded in EXPERIMENTS.md.
+package lmmrank
+
+import (
+	"fmt"
+	"testing"
+
+	"lmmrank/internal/blockrank"
+	"lmmrank/internal/experiments"
+	"lmmrank/internal/hits"
+	"lmmrank/internal/lmm"
+	"lmmrank/internal/rankutil"
+	"lmmrank/internal/webgen"
+)
+
+// benchWeb is the bench-scale campus web: the paper's structure at a size
+// every benchmark can afford (≈6k docs). Regenerated once per process.
+var benchWebCache *webgen.Web
+
+func benchWeb() *webgen.Web {
+	if benchWebCache == nil {
+		benchWebCache = webgen.Generate(webgen.Config{
+			Seed:                2005,
+			Sites:               100,
+			MeanSitePages:       30,
+			AuthorityPages:      8,
+			IntraLinksPerPage:   3,
+			InterLinkFraction:   0.25,
+			DynamicClusterPages: 1000,
+			DocClusterPages:     1000,
+		})
+	}
+	return benchWebCache
+}
+
+// BenchmarkE1Fig2 regenerates the §2.3 worked example (Figure 2): all
+// four approaches on the 12-state model.
+func BenchmarkE1Fig2(b *testing.B) {
+	approaches := []struct {
+		name string
+		fn   func(*Model, Config) (*Ranking, error)
+	}{
+		{"Approach1_PageRankOnW", Approach1},
+		{"Approach2_DirectPowerOnW", Approach2},
+		{"Approach3_AdjustedCompose", Approach3},
+		{"Approach4_LayeredMethod", LayeredMethod},
+	}
+	for _, a := range approaches {
+		b.Run(a.name, func(b *testing.B) {
+			model := PaperExample()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.fn(model, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3Fig3FlatPageRank regenerates Figure 3's ranking: flat
+// PageRank over the full campus web.
+func BenchmarkE3Fig3FlatPageRank(b *testing.B) {
+	web := benchWeb()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lmm.GlobalPageRank(web.Graph, lmm.WebConfig{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Fig4LayeredDocRank regenerates Figure 4's ranking: the
+// layered method (SiteRank + parallel local DocRanks + composition).
+func BenchmarkE4Fig4LayeredDocRank(b *testing.B) {
+	web := benchWeb()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5SpamMetrics measures the contamination@k evaluation of both
+// rankings (the Figure 3/4 comparison metrics).
+func BenchmarkE5SpamMetrics(b *testing.B) {
+	web := benchWeb()
+	flat, err := lmm.GlobalPageRank(web.Graph, lmm.WebConfig{Tol: 1e-9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	layered, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{Tol: 1e-9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flags := web.SpamFlags()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rankutil.ContaminationAtK(flat.Scores, flags, 15)
+		_ = rankutil.ContaminationAtK(layered.DocRank, flags, 15)
+		_ = rankutil.KendallTau(flat.Scores[:1000], layered.DocRank[:1000])
+	}
+}
+
+// BenchmarkE6CentralizedVsLayered times Approach 2 (power method on the
+// dense global W) against Approach 4 (the Layered Method) across model
+// sizes — the §2.3.3 complexity claim.
+func BenchmarkE6CentralizedVsLayered(b *testing.B) {
+	sizes := []experiments.ModelSize{
+		{Phases: 5, SubStates: 10},
+		{Phases: 10, SubStates: 20},
+		{Phases: 20, SubStates: 40},
+	}
+	for _, size := range sizes {
+		model := experiments.BenchModel(size, 1)
+		name := fmt.Sprintf("states=%d", model.TotalStates())
+		b.Run("centralized/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Approach2(model, Config{Tol: 1e-10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("layered/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := LayeredMethod(model, Config{Tol: 1e-10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Distributed measures the distributed pipeline end to end
+// over loopback TCP for growing worker fleets.
+func BenchmarkE7Distributed(b *testing.B) {
+	web := benchWeb()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cl, err := StartCluster(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Coord.Rank(web.Graph, DistConfig{Tol: 1e-9}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Personalization measures the two-layer personalized pipeline
+// against the uniform one.
+func BenchmarkE8Personalization(b *testing.B) {
+	web := benchWeb()
+	sitePers := make(Vector, web.Graph.NumSites())
+	for i := range sitePers {
+		sitePers[i] = 1 / float64(len(sitePers))
+	}
+	sitePers[1] *= 3
+	sitePers.Normalize()
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{Tol: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("site-personalized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := lmm.WebConfig{Tol: 1e-9, SitePersonalization: sitePers}
+			if _, err := lmm.LayeredDocRank(web.Graph, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBaselines times the comparison algorithms on the same web:
+// BlockRank (the closest prior work) and HITS (the other baseline the
+// paper reviews).
+func BenchmarkBaselines(b *testing.B) {
+	web := benchWeb()
+	b.Run("blockrank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := blockrank.Compute(web.Graph, blockrank.Config{Tol: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hits", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hits.Run(web.Graph.G, hits.Config{Tol: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

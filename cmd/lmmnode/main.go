@@ -1,0 +1,52 @@
+// Command lmmnode runs one distributed ranking worker — the peer that
+// hosts site subgraphs and computes their local DocRanks, mapping to a
+// Web server in the paper's peer-to-peer architecture.
+//
+// Usage:
+//
+//	lmmnode -listen 0.0.0.0:7100
+//
+// The process serves until SIGINT/SIGTERM, then shuts down gracefully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lmmrank/internal/dist/worker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lmmnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7100", "address to serve on")
+	flag.Parse()
+
+	w := worker.New()
+	addr, err := w.Start(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lmmnode serving on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("lmmnode: shutting down")
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st := w.Stats()
+	fmt.Printf("lmmnode: served %d messages (%d bytes in, %d bytes out)\n",
+		st.Messages, st.BytesReceived, st.BytesSent)
+	return nil
+}

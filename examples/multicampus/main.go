@@ -1,0 +1,62 @@
+// Multicampus demonstrates the multi-layer extension (§2.2) at web scale:
+// three federated campuses, each its own domain, ranked with the
+// three-layer domain → site → page model. The recursive Partition
+// argument composes DomainRank × site entry × local DocRank; with a single
+// domain the result reduces exactly to the two-layer Layered Method.
+//
+//	go run ./examples/multicampus
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lmmrank"
+)
+
+func main() {
+	web := lmmrank.GenerateCampusWeb(lmmrank.CampusWebConfig{
+		Seed:                11,
+		Sites:               25,
+		MeanSitePages:       15,
+		Campuses:            3,
+		DynamicClusterPages: 200,
+		DocClusterPages:     200,
+	})
+	fmt.Printf("federated web: %d sites, %d documents across 3 campus domains\n\n",
+		web.Graph.NumSites(), web.Graph.NumDocs())
+
+	three, err := lmmrank.LayeredDocRank3(web.Graph, nil, lmmrank.WebConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("domain layer (top of the hierarchy):")
+	type dom struct {
+		name  string
+		score float64
+	}
+	doms := make([]dom, len(three.Domains))
+	for i, name := range three.Domains {
+		doms[i] = dom{name, three.DomainRank[i]}
+	}
+	sort.Slice(doms, func(a, b int) bool { return doms[a].score > doms[b].score })
+	for _, d := range doms {
+		fmt.Printf("  %.4f  %s\n", d.score, d.name)
+	}
+
+	fmt.Println("\ntop 10 documents (three-layer composition):")
+	for i, e := range lmmrank.TopDocs(web.Graph, three.DocRank, 10) {
+		fmt.Printf("%-4d %-10.6f %s\n", i+1, e.Score, e.URL)
+	}
+
+	// Compare against the two-layer method on the same web.
+	two, err := lmmrank.LayeredDocRank(web.Graph, lmmrank.WebConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nτ(two-layer, three-layer) = %.3f — broadly consistent, but the\n",
+		lmmrank.KendallTau(two.DocRank, three.DocRank))
+	fmt.Println("domain layer reweighs sites by their campus's federation standing.")
+}

@@ -1,0 +1,174 @@
+package blockrank
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/lmm"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+	"lmmrank/internal/rankutil"
+	"lmmrank/internal/webgen"
+)
+
+func smallWeb(t *testing.T, seed int64) *webgen.Web {
+	t.Helper()
+	cfg := webgen.Small()
+	cfg.Seed = seed
+	return webgen.Generate(cfg)
+}
+
+func TestComputeBasics(t *testing.T) {
+	w := smallWeb(t, 1)
+	res, err := Compute(w.Graph, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if !res.Scores.IsDistribution(1e-8) {
+		t.Errorf("scores sum = %g", res.Scores.Sum())
+	}
+	if !res.Seed.IsDistribution(1e-8) {
+		t.Errorf("seed sum = %g", res.Seed.Sum())
+	}
+	if !res.BlockRank.IsDistribution(1e-8) {
+		t.Errorf("block rank sum = %g", res.BlockRank.Sum())
+	}
+	if len(res.LocalRanks) != w.Graph.NumSites() {
+		t.Errorf("local ranks = %d", len(res.LocalRanks))
+	}
+	if res.GlobalIterations == 0 {
+		t.Error("global refinement did not run")
+	}
+}
+
+func TestRefinedMatchesGlobalPageRank(t *testing.T) {
+	// BlockRank is an accelerator: its refined output must equal flat
+	// PageRank (same fixed point), and the composed seed must start
+	// closer to that fixed point than the uniform vector does. (Iteration
+	// counts are not asserted: on small synthetic webs the asymptotic
+	// rate, set by the subdominant eigenvalue, dominates the head start —
+	// Kamvar et al.'s speedups come from web-scale block locality.)
+	w := smallWeb(t, 2)
+	res, err := Compute(w.Graph, Config{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	flat, err := pagerank.Graph(w.Graph.G, pagerank.Config{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+	if res.Scores.L1Diff(flat.Scores) > 1e-8 {
+		t.Errorf("refined BlockRank deviates from PageRank: %g", res.Scores.L1Diff(flat.Scores))
+	}
+	uniform := matrix.Uniform(w.Graph.NumDocs())
+	if res.Seed.L1Diff(flat.Scores) >= uniform.L1Diff(flat.Scores) {
+		t.Errorf("seed (%.4f) is no closer to the fixed point than uniform (%.4f)",
+			res.Seed.L1Diff(flat.Scores), uniform.L1Diff(flat.Scores))
+	}
+}
+
+func TestSeedApproximatesGlobalOrder(t *testing.T) {
+	w := smallWeb(t, 3)
+	res, err := Compute(w.Graph, Config{SkipGlobalRefine: true})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if res.GlobalIterations != 0 {
+		t.Error("refinement ran despite SkipGlobalRefine")
+	}
+	flat, err := pagerank.Graph(w.Graph.G, pagerank.Config{})
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+	// The block approximation should correlate clearly with the true
+	// ranking (Kamvar et al. report high agreement).
+	tau := rankutil.KendallTau(res.Seed, flat.Scores)
+	if tau < 0.5 {
+		t.Errorf("seed vs flat Kendall τ = %.3f, want ≥ 0.5", tau)
+	}
+}
+
+func TestBlockRankVsLayeredWeighting(t *testing.T) {
+	// The paper's §3.2 distinction: BlockRank's block graph uses local-
+	// PageRank-weighted edges, the LMM SiteGraph raw counts. On a web
+	// where a site's links originate from low-ranked pages, the two site
+	// rankings must differ.
+	b := graph.NewBuilder()
+	// Site a: home + popular page x; an obscure page z links out to c.
+	b.AddLink("http://a.ex/", "http://a.ex/x")
+	b.AddLink("http://a.ex/x", "http://a.ex/")
+	b.AddLink("http://a.ex/", "http://a.ex/z")
+	b.AddLink("http://a.ex/z", "http://c.ex/")
+	// Site c links back so everything is connected.
+	b.AddLink("http://c.ex/", "http://a.ex/")
+	dg := b.Build()
+
+	br, err := Compute(dg, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	layered, err := lmm.LayeredDocRank(dg, lmm.WebConfig{})
+	if err != nil {
+		t.Fatalf("LayeredDocRank: %v", err)
+	}
+	// Both are distributions over 2 sites but weighted differently; they
+	// must not be numerically identical.
+	if br.BlockRank.L1Diff(layered.SiteRank) < 1e-9 {
+		t.Errorf("BlockRank block vector coincides with SiteRank: %v", br.BlockRank)
+	}
+}
+
+func TestComputeRejectsEmptyGraph(t *testing.T) {
+	dg := &graph.DocGraph{G: graph.NewDigraph(0)}
+	if _, err := Compute(dg, Config{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSingleDocBlocks(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddLink("http://x.ex/", "http://y.ex/")
+	b.AddLink("http://y.ex/", "http://x.ex/")
+	dg := b.Build()
+	res, err := Compute(dg, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if !res.Scores.IsDistribution(1e-9) {
+		t.Errorf("scores = %v", res.Scores)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	w := smallWeb(t, 4)
+	a, err := Compute(w.Graph, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	b, err := Compute(w.Graph, Config{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if a.Scores.L1Diff(b.Scores) != 0 {
+		t.Error("BlockRank not deterministic")
+	}
+}
+
+func TestRandomWebsProduceDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		cfg := webgen.Config{
+			Seed: rng.Int63(), Sites: rng.Intn(10) + 3, MeanSitePages: 8,
+			DynamicClusterPages: 30, DocClusterPages: 30,
+		}
+		w := webgen.Generate(cfg)
+		res, err := Compute(w.Graph, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Scores.IsDistribution(1e-7) {
+			t.Errorf("trial %d: not a distribution", trial)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"lmmrank/internal/lmm"
+	"lmmrank/internal/matrix"
+)
+
+// ModelSize names one point of the E6 sweep.
+type ModelSize struct {
+	// Phases is the number of Web sites N_S.
+	Phases int
+	// SubStates is the number of documents per site n (uniform for the
+	// sweep, so total states = Phases·SubStates).
+	SubStates int
+}
+
+// ComplexityPoint is one measured row of E6.
+type ComplexityPoint struct {
+	Size        ModelSize
+	TotalStates int
+	// Centralized is the wall time of Approach 2 (power method on the
+	// dense global W, which first must be assembled).
+	Centralized time.Duration
+	// Layered is the wall time of Approach 4 (the Layered Method).
+	Layered time.Duration
+	// Speedup = Centralized / Layered.
+	Speedup float64
+	// Gap is the L1 distance between the two rankings (Theorem 2 ⇒ ≈ 0).
+	Gap float64
+}
+
+// ComplexityResult is E6: the §2.3.3 claim that the Layered Method
+// replaces repeated N_P×N_P matrix multiplications with per-layer
+// computations plus O(N_P) multiplications for aggregation.
+type ComplexityResult struct {
+	Points []ComplexityPoint
+}
+
+// RunComplexity measures centralized-vs-layered wall time across model
+// sizes. Sizes with zero value get a default sweep.
+func RunComplexity(sizes []ModelSize, seed int64) (*ComplexityResult, error) {
+	if len(sizes) == 0 {
+		sizes = []ModelSize{
+			{Phases: 5, SubStates: 10},
+			{Phases: 10, SubStates: 20},
+			{Phases: 20, SubStates: 40},
+			{Phases: 40, SubStates: 50},
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &ComplexityResult{}
+	for _, size := range sizes {
+		model := randomUniformModel(rng, size.Phases, size.SubStates)
+		cfg := lmm.Config{Tol: 1e-10}
+
+		start := time.Now()
+		a2, err := lmm.Approach2(model, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: complexity %+v centralized: %w", size, err)
+		}
+		centralized := time.Since(start)
+
+		start = time.Now()
+		a4, err := lmm.LayeredMethod(model, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: complexity %+v layered: %w", size, err)
+		}
+		layered := time.Since(start)
+
+		out.Points = append(out.Points, ComplexityPoint{
+			Size:        size,
+			TotalStates: model.TotalStates(),
+			Centralized: centralized,
+			Layered:     layered,
+			Speedup:     float64(centralized) / float64(layered),
+			Gap:         a2.Scores.L1Diff(a4.Scores),
+		})
+	}
+	return out, nil
+}
+
+// BenchModel builds the deterministic random model used by the E6
+// benchmarks in the repository root, so bench and experiment share
+// workloads.
+func BenchModel(size ModelSize, seed int64) *lmm.Model {
+	return randomUniformModel(rand.New(rand.NewSource(seed)), size.Phases, size.SubStates)
+}
+
+// randomUniformModel builds a dense random LMM with the given shape.
+func randomUniformModel(rng *rand.Rand, phases, subStates int) *lmm.Model {
+	y := matrix.NewDense(phases, phases)
+	for i := 0; i < phases; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+		}
+	}
+	y.NormalizeRows()
+	us := make([]*matrix.Dense, phases)
+	for p := range us {
+		u := matrix.NewDense(subStates, subStates)
+		for i := 0; i < subStates; i++ {
+			// Sparse rows: a handful of links per document.
+			for k := 0; k < 5; k++ {
+				u.Set(i, rng.Intn(subStates), rng.Float64()+0.05)
+			}
+		}
+		us[p] = u.NormalizeRows()
+	}
+	return &lmm.Model{Y: y, U: us}
+}
+
+// Format renders the E6 table.
+func (r *ComplexityResult) Format() string {
+	var b strings.Builder
+	b.WriteString("E6 — centralized (power on W) vs decentralized (Layered Method)\n")
+	b.WriteString("§2.3.3: aggregation needs only O(N_P) multiplications instead of\n")
+	b.WriteString("repeated N_P×N_P matrix products\n\n")
+	b.WriteString("sites  docs/site  states  centralized  layered     speedup  L1 gap\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6d %-10d %-7d %-12v %-11v %-8.1f %.1e\n",
+			p.Size.Phases, p.Size.SubStates, p.TotalStates,
+			p.Centralized.Round(time.Microsecond), p.Layered.Round(time.Microsecond),
+			p.Speedup, p.Gap)
+	}
+	return b.String()
+}

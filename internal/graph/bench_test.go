@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchDocGraph(nSites, docsPerSite int, seed int64) *DocGraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	var ids []DocID
+	for s := 0; s < nSites; s++ {
+		host := fmt.Sprintf("s%d.example", s)
+		for d := 0; d < docsPerSite; d++ {
+			ids = append(ids, b.AddDocInSite(fmt.Sprintf("http://%s/p%d", host, d), host))
+		}
+	}
+	for e := 0; e < len(ids)*6; e++ {
+		b.LinkIDs(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))])
+	}
+	return b.Build()
+}
+
+func BenchmarkDeriveSiteGraph(b *testing.B) {
+	dg := benchDocGraph(200, 100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeriveSiteGraph(dg, SiteGraphOptions{})
+	}
+}
+
+func BenchmarkLocalSubgraph(b *testing.B) {
+	dg := benchDocGraph(50, 400, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dg.LocalSubgraph(SiteID(i % dg.NumSites()))
+	}
+}
+
+func BenchmarkTransitionMatrix(b *testing.B) {
+	dg := benchDocGraph(100, 200, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dg.G.TransitionMatrix()
+	}
+}
+
+func BenchmarkTextRoundTrip(b *testing.B) {
+	dg := benchDocGraph(50, 100, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, dg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadText(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGobRoundTrip(b *testing.B) {
+	dg := benchDocGraph(50, 100, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := EncodeGob(&buf, dg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeGob(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package graph provides the Web-graph substrate of the paper's §3.1: the
+// document-level DocGraph, the site-level SiteGraph derived from it by
+// SiteLink counting, per-site local subgraphs G^s_d, transition-matrix
+// extraction M(G), and text/gob serialization.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"lmmrank/internal/matrix"
+)
+
+// Edge is one weighted directed edge. Weight counts link multiplicity
+// (several hyperlinks from one page to the same target accumulate).
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Digraph is a weighted directed graph over nodes 0..N-1 with adjacency
+// stored per source node. The zero value is an empty graph; grow it with
+// EnsureNodes and AddEdge.
+type Digraph struct {
+	out     [][]Edge
+	deduped bool
+}
+
+// NewDigraph returns a graph with n isolated nodes.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: NewDigraph with negative size %d", n))
+	}
+	return &Digraph{out: make([][]Edge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Digraph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of stored (deduplicated if Dedupe was called)
+// edge entries.
+func (g *Digraph) NumEdges() int {
+	var n int
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// EnsureNodes grows the graph so that it has at least n nodes.
+func (g *Digraph) EnsureNodes(n int) {
+	for len(g.out) < n {
+		g.out = append(g.out, nil)
+	}
+}
+
+// AddEdge appends a directed edge with the given weight. Self-loops are
+// allowed (a page may link to itself). It panics on out-of-range nodes or
+// non-positive weight.
+func (g *Digraph) AddEdge(from, to int, weight float64) {
+	if from < 0 || from >= len(g.out) || to < 0 || to >= len(g.out) {
+		panic(fmt.Sprintf("graph: edge (%d→%d) out of range %d", from, to, len(g.out)))
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("graph: non-positive edge weight %g", weight))
+	}
+	g.out[from] = append(g.out[from], Edge{To: to, Weight: weight})
+	g.deduped = false
+}
+
+// AddLink adds a unit-weight edge, the common case for one hyperlink.
+func (g *Digraph) AddLink(from, to int) { g.AddEdge(from, to, 1) }
+
+// Dedupe merges parallel edges by summing weights and sorts each adjacency
+// list by target. Idempotent; cheap when already deduplicated.
+func (g *Digraph) Dedupe() {
+	if g.deduped {
+		return
+	}
+	for i, es := range g.out {
+		if len(es) <= 1 {
+			continue
+		}
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+		w := 0
+		for k := 1; k < len(es); k++ {
+			if es[k].To == es[w].To {
+				es[w].Weight += es[k].Weight
+			} else {
+				w++
+				es[w] = es[k]
+			}
+		}
+		g.out[i] = es[:w+1]
+	}
+	g.deduped = true
+}
+
+// OutDegree returns the number of distinct targets of node i (after
+// implicit dedupe).
+func (g *Digraph) OutDegree(i int) int {
+	g.Dedupe()
+	return len(g.out[i])
+}
+
+// OutWeight returns the total outgoing edge weight of node i.
+func (g *Digraph) OutWeight(i int) float64 {
+	var s float64
+	for _, e := range g.out[i] {
+		s += e.Weight
+	}
+	return s
+}
+
+// EachEdge calls fn for every edge leaving node i. Call Dedupe first when
+// duplicate entries must be merged.
+func (g *Digraph) EachEdge(i int, fn func(e Edge)) {
+	for _, e := range g.out[i] {
+		fn(e)
+	}
+}
+
+// EachEdgeAll calls fn(from, e) for every edge in the graph.
+func (g *Digraph) EachEdgeAll(fn func(from int, e Edge)) {
+	for i, es := range g.out {
+		for _, e := range es {
+			fn(i, e)
+		}
+	}
+}
+
+// InDegrees returns the in-degree (distinct sources counted once per edge
+// entry) of each node. Dedupe first for distinct-source semantics.
+func (g *Digraph) InDegrees() []int {
+	in := make([]int, len(g.out))
+	for _, es := range g.out {
+		for _, e := range es {
+			in[e.To]++
+		}
+	}
+	return in
+}
+
+// Transpose returns the reversed graph.
+func (g *Digraph) Transpose() *Digraph {
+	t := NewDigraph(len(g.out))
+	for i, es := range g.out {
+		for _, e := range es {
+			t.AddEdge(e.To, i, e.Weight)
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (g *Digraph) Clone() *Digraph {
+	c := NewDigraph(len(g.out))
+	for i, es := range g.out {
+		c.out[i] = append([]Edge(nil), es...)
+	}
+	c.deduped = g.deduped
+	return c
+}
+
+// Dangling returns the nodes with no outgoing edges.
+func (g *Digraph) Dangling() []int {
+	var out []int
+	for i, es := range g.out {
+		if len(es) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TransitionMatrix builds the row-stochastic transition matrix M(G) of the
+// random-surfer chain: each node distributes probability across its
+// out-edges proportionally to edge weight. Dangling rows are left all-zero;
+// downstream irreducibility adjustments (package markov, pagerank) decide
+// how to treat them, as in the paper's Mˆ(G).
+func (g *Digraph) TransitionMatrix() *matrix.CSR {
+	g.Dedupe()
+	triples := make([]matrix.Triple, 0, g.NumEdges())
+	for i, es := range g.out {
+		var total float64
+		for _, e := range es {
+			total += e.Weight
+		}
+		if total == 0 {
+			continue
+		}
+		for _, e := range es {
+			triples = append(triples, matrix.Triple{Row: i, Col: e.To, Val: e.Weight / total})
+		}
+	}
+	return matrix.NewCSR(len(g.out), triples)
+}
+
+// TransitionDense is TransitionMatrix materialized densely, for the small
+// matrices of the worked example and unit tests.
+func (g *Digraph) TransitionDense() *matrix.Dense {
+	return g.TransitionMatrix().Dense()
+}
+
+// Order implements matrix.Sparsity so that the structural checks
+// (IsIrreducible, Period, IsPrimitive) apply directly to graphs.
+func (g *Digraph) Order() int { return len(g.out) }
+
+// EachNonZero implements matrix.Sparsity.
+func (g *Digraph) EachNonZero(i int, fn func(col int)) {
+	for _, e := range g.out[i] {
+		if e.Weight > 0 {
+			fn(e.To)
+		}
+	}
+}
+
+var _ matrix.Sparsity = (*Digraph)(nil)

@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// SiteID identifies a Web site within a DocGraph.
+type SiteID int
+
+// DocID identifies a Web document within a DocGraph.
+type DocID int
+
+// Doc is the metadata of one Web document.
+type Doc struct {
+	URL  string
+	Site SiteID
+}
+
+// Site is the metadata of one Web site.
+type Site struct {
+	Name string
+	// Docs lists the documents of the site in ascending DocID order.
+	Docs []DocID
+}
+
+// DocGraph is the paper's G_D(V_D, E_D): a directed graph of Web documents
+// together with the site(d) mapping that induces the SiteGraph. Build one
+// incrementally with a Builder or load one with ReadText/DecodeGob.
+type DocGraph struct {
+	// G holds the document-level link structure; node i corresponds to
+	// Docs[i].
+	G *Digraph
+	// Docs holds per-document metadata indexed by DocID.
+	Docs []Doc
+	// Sites holds per-site metadata indexed by SiteID.
+	Sites []Site
+}
+
+// NumDocs returns N_D, the total number of documents.
+func (dg *DocGraph) NumDocs() int { return len(dg.Docs) }
+
+// NumSites returns N_S, the total number of sites.
+func (dg *DocGraph) NumSites() int { return len(dg.Sites) }
+
+// SiteOf returns the site of document d (the paper's site(d)).
+func (dg *DocGraph) SiteOf(d DocID) SiteID { return dg.Docs[d].Site }
+
+// SiteSize returns n_s = size(s), the number of local documents of site s.
+func (dg *DocGraph) SiteSize(s SiteID) int { return len(dg.Sites[s].Docs) }
+
+// Validate checks internal consistency: every document belongs to a valid
+// site, site rosters agree with document records, and the digraph has one
+// node per document.
+func (dg *DocGraph) Validate() error {
+	if dg.G == nil {
+		return fmt.Errorf("graph: nil digraph")
+	}
+	if dg.G.NumNodes() != len(dg.Docs) {
+		return fmt.Errorf("graph: %d digraph nodes vs %d docs", dg.G.NumNodes(), len(dg.Docs))
+	}
+	counted := 0
+	for s, site := range dg.Sites {
+		for _, d := range site.Docs {
+			if int(d) < 0 || int(d) >= len(dg.Docs) {
+				return fmt.Errorf("graph: site %d lists invalid doc %d", s, d)
+			}
+			if dg.Docs[d].Site != SiteID(s) {
+				return fmt.Errorf("graph: doc %d recorded in site %d but maps to site %d", d, s, dg.Docs[d].Site)
+			}
+			counted++
+		}
+	}
+	if counted != len(dg.Docs) {
+		return fmt.Errorf("graph: site rosters cover %d docs, have %d", counted, len(dg.Docs))
+	}
+	for d, doc := range dg.Docs {
+		if int(doc.Site) < 0 || int(doc.Site) >= len(dg.Sites) {
+			return fmt.Errorf("graph: doc %d has invalid site %d", d, doc.Site)
+		}
+	}
+	return nil
+}
+
+// LocalSubgraph extracts G^s_d = (V_d(s), E_d(s)): the subgraph of site s
+// restricted to edges whose both endpoints are local documents of s (§3.1).
+// The returned LocalIndex maps between global DocIDs and the compact local
+// node indices of the subgraph.
+func (dg *DocGraph) LocalSubgraph(s SiteID) (*Digraph, *LocalIndex) {
+	docs := dg.Sites[s].Docs
+	idx := &LocalIndex{
+		ToGlobal: append([]DocID(nil), docs...),
+		toLocal:  make(map[DocID]int, len(docs)),
+	}
+	for i, d := range docs {
+		idx.toLocal[d] = i
+	}
+	sub := NewDigraph(len(docs))
+	for i, d := range docs {
+		dg.G.EachEdge(int(d), func(e Edge) {
+			if j, ok := idx.toLocal[DocID(e.To)]; ok {
+				sub.AddEdge(i, j, e.Weight)
+			}
+		})
+	}
+	sub.Dedupe()
+	return sub, idx
+}
+
+// LocalIndex maps between global document IDs and the local node indices
+// of one site's subgraph.
+type LocalIndex struct {
+	// ToGlobal[i] is the DocID of local node i.
+	ToGlobal []DocID
+	toLocal  map[DocID]int
+}
+
+// ToLocal returns the local index of global document d and whether d
+// belongs to this site.
+func (ix *LocalIndex) ToLocal(d DocID) (int, bool) {
+	i, ok := ix.toLocal[d]
+	return i, ok
+}
+
+// Len returns the number of local documents.
+func (ix *LocalIndex) Len() int { return len(ix.ToGlobal) }
+
+// Builder assembles a DocGraph from URLs and links, assigning documents to
+// sites by URL host (scheme-insensitive), the way a crawler would.
+type Builder struct {
+	dg      DocGraph
+	docByID map[string]DocID
+	siteBy  map[string]SiteID
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		dg:      DocGraph{G: NewDigraph(0)},
+		docByID: make(map[string]DocID),
+		siteBy:  make(map[string]SiteID),
+	}
+}
+
+// AddDoc registers a document by URL (idempotent) and returns its DocID.
+// The document is assigned to the site named by the URL host.
+func (b *Builder) AddDoc(rawurl string) DocID {
+	if d, ok := b.docByID[rawurl]; ok {
+		return d
+	}
+	site := b.siteID(SiteNameOf(rawurl))
+	d := DocID(len(b.dg.Docs))
+	b.dg.Docs = append(b.dg.Docs, Doc{URL: rawurl, Site: site})
+	b.dg.Sites[site].Docs = append(b.dg.Sites[site].Docs, d)
+	b.dg.G.EnsureNodes(len(b.dg.Docs))
+	b.docByID[rawurl] = d
+	return d
+}
+
+// AddDocInSite registers a document under an explicit site name, for
+// generators that control site structure directly.
+func (b *Builder) AddDocInSite(rawurl, siteName string) DocID {
+	if d, ok := b.docByID[rawurl]; ok {
+		return d
+	}
+	site := b.siteID(siteName)
+	d := DocID(len(b.dg.Docs))
+	b.dg.Docs = append(b.dg.Docs, Doc{URL: rawurl, Site: site})
+	b.dg.Sites[site].Docs = append(b.dg.Sites[site].Docs, d)
+	b.dg.G.EnsureNodes(len(b.dg.Docs))
+	b.docByID[rawurl] = d
+	return d
+}
+
+// AddLink records one hyperlink between two documents, registering either
+// endpoint if necessary.
+func (b *Builder) AddLink(fromURL, toURL string) {
+	from := b.AddDoc(fromURL)
+	to := b.AddDoc(toURL)
+	b.dg.G.AddLink(int(from), int(to))
+}
+
+// LinkIDs records one hyperlink between two already-registered documents.
+func (b *Builder) LinkIDs(from, to DocID) {
+	b.dg.G.AddLink(int(from), int(to))
+}
+
+// Doc returns the DocID of a registered URL.
+func (b *Builder) Doc(rawurl string) (DocID, bool) {
+	d, ok := b.docByID[rawurl]
+	return d, ok
+}
+
+// Build finalizes and returns the DocGraph. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *DocGraph {
+	b.dg.G.Dedupe()
+	dg := b.dg
+	b.dg = DocGraph{}
+	return &dg
+}
+
+func (b *Builder) siteID(name string) SiteID {
+	if s, ok := b.siteBy[name]; ok {
+		return s
+	}
+	s := SiteID(len(b.dg.Sites))
+	b.dg.Sites = append(b.dg.Sites, Site{Name: name})
+	b.siteBy[name] = s
+	return s
+}
+
+// SiteNameOf extracts the site name of a URL: its host, lower-cased. URLs
+// that do not parse fall back to the prefix up to the first '/', so
+// synthetic identifiers still group deterministically.
+func SiteNameOf(rawurl string) string {
+	if u, err := url.Parse(rawurl); err == nil && u.Host != "" {
+		return strings.ToLower(u.Host)
+	}
+	s := rawurl
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[i+2:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText hardens the text graph parser: arbitrary input must never
+// panic, and any input it accepts must produce a valid DocGraph that
+// round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("# empty\n")
+	f.Add("site 0 a.example\ndoc 0 0 http://a.example/\n")
+	f.Add("site 0 a\nsite 1 b\ndoc 0 0 u1\ndoc 1 1 u2\nedge 0 1\nedge 1 0 2.5\n")
+	f.Add("site 0\n")
+	f.Add("edge 0 0\n")
+	f.Add("doc 0 9 u\n")
+	f.Add("site 0 a\ndoc 0 0 u\nedge 0 0 -1\n")
+	f.Add(strings.Repeat("site 0 a\n", 3))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		dg, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if verr := dg.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails Validate: %v\ninput: %q", verr, input)
+		}
+		var buf bytes.Buffer
+		if werr := WriteText(&buf, dg); werr != nil {
+			t.Fatalf("WriteText of accepted graph: %v", werr)
+		}
+		back, rerr := ReadText(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip re-read failed: %v\nserialized: %q", rerr, buf.String())
+		}
+		if back.NumDocs() != dg.NumDocs() || back.NumSites() != dg.NumSites() {
+			t.Fatalf("round-trip changed shape: %d/%d docs, %d/%d sites",
+				dg.NumDocs(), back.NumDocs(), dg.NumSites(), back.NumSites())
+		}
+	})
+}
+
+// FuzzDecodeGob hardens the binary decoder against corrupt payloads.
+func FuzzDecodeGob(f *testing.F) {
+	// Seed with a valid encoding and some mutations of it.
+	b := NewBuilder()
+	b.AddLink("http://a.example/", "http://b.example/")
+	dg := b.Build()
+	var buf bytes.Buffer
+	if err := EncodeGob(&buf, dg); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	if len(valid) > 10 {
+		mutated := append([]byte(nil), valid...)
+		mutated[len(mutated)/2] ^= 0xFF
+		f.Add(mutated)
+		f.Add(valid[:len(valid)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dg, err := DecodeGob(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := dg.Validate(); verr != nil {
+			t.Fatalf("accepted gob fails Validate: %v", verr)
+		}
+	})
+}

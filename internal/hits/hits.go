@@ -1,0 +1,126 @@
+// Package hits implements Kleinberg's HITS algorithm, the second
+// link-based baseline the paper reviews (§1.1). It exists to make the
+// comparison the paper draws concrete: HITS' mutually-reinforcing
+// authority/hub iteration lacks the primitivity guarantees that PageRank's
+// maximal irreducibility — and the LMM's layered construction — provide,
+// and can converge to seed-dependent eigenvectors that zero out parts of
+// the graph (Farahat et al., cited as [4]).
+package hits
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+)
+
+// ErrNotConverged is returned (wrapped) when the iteration budget is
+// exhausted.
+var ErrNotConverged = errors.New("hits: did not converge")
+
+// Config parameterizes a HITS run. The zero value uses the defaults.
+type Config struct {
+	// Tol is the L1 convergence threshold on successive authority vectors
+	// (0 selects matrix.DefaultTol).
+	Tol float64
+	// MaxIter bounds iterations (0 selects matrix.DefaultMaxIter).
+	MaxIter int
+	// Seed optionally sets the initial authority vector (nil = uniform).
+	// HITS' seed sensitivity is one of the instabilities the paper
+	// contrasts against; tests exercise it explicitly.
+	Seed matrix.Vector
+}
+
+// Result holds the HITS fixed point.
+type Result struct {
+	// Authority scores, L1-normalized.
+	Authority matrix.Vector
+	// Hub scores, L1-normalized.
+	Hub matrix.Vector
+	// Iterations performed.
+	Iterations int
+	// Converged reports whether Tol was reached.
+	Converged bool
+}
+
+// Run computes HITS authority and hub scores of a directed graph by the
+// standard coupled iteration
+//
+//	h ← A·a,  a ← A'h
+//
+// (A the weighted adjacency), L1-normalizing after each step. The hub
+// update runs first so that the authority seed steers the iteration, which
+// is what exposes the seed sensitivity on degenerate graphs.
+func Run(g *graph.Digraph, cfg Config) (Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return Result{}, fmt.Errorf("hits: empty graph")
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = matrix.DefaultTol
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = matrix.DefaultMaxIter
+	}
+
+	var auth matrix.Vector
+	if cfg.Seed != nil {
+		if len(cfg.Seed) != n {
+			return Result{}, fmt.Errorf("hits: seed length %d vs %d nodes", len(cfg.Seed), n)
+		}
+		auth = cfg.Seed.Clone().Normalize()
+	} else {
+		auth = matrix.Uniform(n)
+	}
+	hub := matrix.Uniform(n)
+	newAuth := matrix.NewVector(n)
+	newHub := matrix.NewVector(n)
+
+	g.Dedupe()
+	res := Result{}
+	for it := 1; it <= maxIter; it++ {
+		// h_i = Σ_{i→j} a_j
+		newHub.Fill(0)
+		g.EachEdgeAll(func(from int, e graph.Edge) {
+			newHub[from] += auth[e.To] * e.Weight
+		})
+		newHub.Normalize()
+		// a_j = Σ_{i→j} h_i
+		newAuth.Fill(0)
+		g.EachEdgeAll(func(from int, e graph.Edge) {
+			newAuth[e.To] += newHub[from] * e.Weight
+		})
+		newAuth.Normalize()
+
+		res.Iterations = it
+		diff := newAuth.L1Diff(auth)
+		auth, newAuth = newAuth, auth
+		hub, newHub = newHub, hub
+		if diff <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Authority = auth
+	res.Hub = hub
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
+	}
+	if hasNaN(res.Authority) || hasNaN(res.Hub) {
+		return res, fmt.Errorf("hits: numeric breakdown (disconnected graph?)")
+	}
+	return res, nil
+}
+
+func hasNaN(v matrix.Vector) bool {
+	for _, x := range v {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}

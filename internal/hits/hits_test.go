@@ -1,0 +1,135 @@
+package hits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+)
+
+func TestRunSimpleAuthority(t *testing.T) {
+	// Nodes 0..2 all link to 3: node 3 is the authority, 0..2 equal hubs.
+	g := graph.NewDigraph(4)
+	g.AddLink(0, 3)
+	g.AddLink(1, 3)
+	g.AddLink(2, 3)
+	res, err := Run(g, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Authority.ArgMax() != 3 {
+		t.Errorf("authority = %v, want node 3 on top", res.Authority)
+	}
+	if res.Authority[3] < 0.99 {
+		t.Errorf("node 3 should hold ~all authority: %v", res.Authority)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Hub[i] < 0.3 {
+			t.Errorf("hub[%d] = %g, want ≈ 1/3", i, res.Hub[i])
+		}
+	}
+}
+
+func TestRunBipartiteCore(t *testing.T) {
+	// Dense bipartite core {0,1} → {2,3} plus an appendage 4→5. The core
+	// dominates; the appendage keeps near-zero weight — the "zero weights
+	// to parts of the graph" behavior discussed in the paper.
+	g := graph.NewDigraph(6)
+	for _, from := range []int{0, 1} {
+		for _, to := range []int{2, 3} {
+			g.AddLink(from, to)
+		}
+	}
+	g.AddLink(4, 5)
+	res, err := Run(g, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Authority[5] > 1e-6 {
+		t.Errorf("appendage authority = %g, want ≈ 0", res.Authority[5])
+	}
+	if res.Authority[2] < 0.45 || res.Authority[3] < 0.45 {
+		t.Errorf("core authorities = %v", res.Authority)
+	}
+}
+
+func TestRunEmptyGraphErrors(t *testing.T) {
+	if _, err := Run(graph.NewDigraph(0), Config{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestRunSeedLengthMismatch(t *testing.T) {
+	g := graph.NewDigraph(3)
+	g.AddLink(0, 1)
+	if _, err := Run(g, Config{Seed: matrix.Vector{1, 0}}); err == nil {
+		t.Fatal("bad seed length accepted")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	// Two disconnected bipartite cores of equal size: the converged
+	// authority vector depends on the seed — HITS' instability (paper
+	// §1.1, citing Farahat et al.). A seed biased to one core keeps all
+	// weight there.
+	g := graph.NewDigraph(8)
+	g.AddLink(0, 1)
+	g.AddLink(2, 1) // core A: authority 1
+	g.AddLink(4, 5)
+	g.AddLink(6, 5) // core B: authority 5
+	seedA := matrix.NewVector(8)
+	seedA[1] = 1
+	resA, err := Run(g, Config{Seed: seedA})
+	if err != nil {
+		t.Fatalf("Run seedA: %v", err)
+	}
+	seedB := matrix.NewVector(8)
+	seedB[5] = 1
+	resB, err := Run(g, Config{Seed: seedB})
+	if err != nil {
+		t.Fatalf("Run seedB: %v", err)
+	}
+	if resA.Authority.ArgMax() == resB.Authority.ArgMax() {
+		t.Errorf("expected seed-dependent winners, both gave %d", resA.Authority.ArgMax())
+	}
+}
+
+func TestWeightedEdgesRespected(t *testing.T) {
+	g := graph.NewDigraph(3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 1)
+	res, err := Run(g, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Authority[1] <= res.Authority[2] {
+		t.Errorf("heavier edge should win: %v", res.Authority)
+	}
+}
+
+// Property: on random non-trivial graphs, converged authority and hub
+// vectors are probability distributions.
+func TestHITSDistributionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 3
+		g := graph.NewDigraph(n)
+		// Guarantee at least one edge so normalization is well-defined.
+		g.AddLink(rng.Intn(n), rng.Intn(n))
+		for e := rng.Intn(4 * n); e > 0; e-- {
+			g.AddLink(rng.Intn(n), rng.Intn(n))
+		}
+		res, err := Run(g, Config{MaxIter: 5000, Tol: 1e-9})
+		if err != nil {
+			// Convergence failure is possible for adversarial patterns;
+			// treat only wrong results as property violations.
+			return true
+		}
+		return res.Authority.IsDistribution(1e-7) && res.Hub.IsDistribution(1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

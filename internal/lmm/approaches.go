@@ -1,0 +1,303 @@
+package lmm
+
+import (
+	"fmt"
+
+	"lmmrank/internal/markov"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// Config parameterizes the LMM rank computations.
+type Config struct {
+	// Alpha is both the gatekeeper parameter α of §2.3.2 and the damping
+	// factor f of the PageRank sub-computations — the paper sets them
+	// equal ("given the adjustable factor α, we actually take the
+	// PageRank values of the local sub-states"). Zero selects 0.85.
+	Alpha float64
+	// Tol is the power-method L1 tolerance (0 = matrix.DefaultTol).
+	Tol float64
+	// MaxIter bounds each power-method run (0 = matrix.DefaultMaxIter).
+	MaxIter int
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha == 0 {
+		return pagerank.DefaultDamping
+	}
+	return c.Alpha
+}
+
+func (c Config) pagerankConfig(personalization matrix.Vector) pagerank.Config {
+	return pagerank.Config{
+		Damping:         c.alpha(),
+		Personalization: personalization,
+		Tol:             c.Tol,
+		MaxIter:         c.MaxIter,
+	}
+}
+
+func (c Config) powerOptions() matrix.PowerOptions {
+	return matrix.PowerOptions{Tol: c.Tol, MaxIter: c.MaxIter}
+}
+
+// LocalRanks computes the gatekeeper transition vectors π^I_G of every
+// phase (§2.3.2): the local PageRank of U_I with damping α and
+// personalization v^I_U. These are exactly the u^I_Gj values of eq. (3).
+func LocalRanks(m *Model, cfg Config) ([]matrix.Vector, error) {
+	out := make([]matrix.Vector, m.NumPhases())
+	for i, u := range m.U {
+		var v matrix.Vector
+		if m.VU != nil {
+			v = m.VU[i]
+		}
+		res, err := pagerank.Dense(u, cfg.pagerankConfig(v))
+		if err != nil {
+			return nil, fmt.Errorf("lmm: local rank of phase %d: %w", i, err)
+		}
+		out[i] = res.Scores
+	}
+	return out, nil
+}
+
+// GlobalMatrix assembles the global transition matrix W of eq. (3):
+//
+//	w_(I,i)(J,j) = y_IJ · π^J_G(j)
+//
+// Rows belonging to the same phase I are identical, as the paper observes,
+// because the expression no longer depends on i.
+func GlobalMatrix(m *Model, local []matrix.Vector) (*matrix.Dense, *Layout) {
+	layout := m.Layout()
+	n := layout.Total()
+	w := matrix.NewDense(n, n)
+	for pi := 0; pi < m.NumPhases(); pi++ {
+		// Build the phase-I row template once, then copy to each
+		// sub-state row.
+		template := make([]float64, n)
+		for pj := 0; pj < m.NumPhases(); pj++ {
+			y := m.Y.At(pi, pj)
+			base := layout.Index(State{Phase: pj, Sub: 0})
+			for j, p := range local[pj] {
+				template[base+j] = y * p
+			}
+		}
+		for i := 0; i < layout.Size(pi); i++ {
+			w.SetRow(layout.Index(State{Phase: pi, Sub: i}), template)
+		}
+	}
+	return w, layout
+}
+
+// Approach1 is the first centralized approach of §2.3: assemble W, apply
+// the maximal-irreducibility adjustment (standard PageRank) and take the
+// principal eigenvector. Personalization at the global level uses the
+// flattening of VY⊗VU when either is set.
+func Approach1(m *Model, cfg Config) (*Ranking, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	local, err := LocalRanks(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, layout := GlobalMatrix(m, local)
+	res, err := pagerank.Dense(w, cfg.pagerankConfig(globalPersonalization(m, layout)))
+	if err != nil {
+		return nil, fmt.Errorf("lmm: approach 1: %w", err)
+	}
+	return &Ranking{Scores: res.Scores, Layout: layout}, nil
+}
+
+// Approach2 is the second centralized approach of §2.3: because W is
+// primitive whenever Y is (Lemma 2), its stationary distribution exists
+// without any adjustment; the power method is applied to W directly. An
+// error wrapping ErrNotPrimitive is returned when W fails the structural
+// primitivity check — the paper's remedy is then Approach 1.
+func Approach2(m *Model, cfg Config) (*Ranking, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	local, err := LocalRanks(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, layout := GlobalMatrix(m, local)
+	if !matrix.IsPrimitive(w) {
+		return nil, fmt.Errorf("%w: global matrix W (is Y primitive?)", ErrNotPrimitive)
+	}
+	res, err := matrix.PowerLeft(w, cfg.powerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("lmm: approach 2: %w", err)
+	}
+	return &Ranking{Scores: res.Vector, Layout: layout}, nil
+}
+
+// Approach3 is the first decentralized approach of §2.3.3: compose the
+// PageRank of Y (maximal irreducibility applied even if Y is primitive)
+// with the local ranks: π(I,i) = πY(I)·π^I_G(i). The result is a valid
+// probability distribution (Theorem 1) but differs from Approach 1/2 in
+// absolute values, as the paper's worked example notes.
+func Approach3(m *Model, cfg Config) (*Ranking, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	local, err := LocalRanks(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resY, err := pagerank.Dense(m.Y, cfg.pagerankConfig(m.VY))
+	if err != nil {
+		return nil, fmt.Errorf("lmm: approach 3: site layer: %w", err)
+	}
+	return compose(m, resY.Scores, local), nil
+}
+
+// LayeredMethod is Approach 4, the paper's main algorithm (§2.3.3): the
+// plain stationary distribution π̃Y of the primitive phase matrix composed
+// with the local ranks:
+//
+//	π̃(I,i) = π̃Y(I)·π^I_G(i)
+//
+// By the Partition Theorem (Theorem 2) this equals the stationary
+// distribution of W — i.e. exactly Approach 2 — while only ever solving
+// one NP×NP system and NP local chains. An error wrapping ErrNotPrimitive
+// is returned when Y is not primitive; Approach 3 (or 1) then applies.
+func LayeredMethod(m *Model, cfg Config) (*Ranking, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !matrix.IsPrimitive(m.Y) {
+		return nil, fmt.Errorf("%w: phase matrix Y", ErrNotPrimitive)
+	}
+	local, err := LocalRanks(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	piY, err := markov.StationaryDense(m.Y, cfg.powerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("lmm: layered method: site layer: %w", err)
+	}
+	return compose(m, piY, local), nil
+}
+
+// Approach4 is the paper's name for LayeredMethod.
+func Approach4(m *Model, cfg Config) (*Ranking, error) { return LayeredMethod(m, cfg) }
+
+// compose applies eq. (5): score(I,i) = phase(I)·local_I(i).
+func compose(m *Model, phase matrix.Vector, local []matrix.Vector) *Ranking {
+	layout := m.Layout()
+	scores := matrix.NewVector(layout.Total())
+	for pi := range local {
+		base := layout.Index(State{Phase: pi, Sub: 0})
+		for j, p := range local[pi] {
+			scores[base+j] = phase[pi] * p
+		}
+	}
+	return &Ranking{Scores: scores, Layout: layout}
+}
+
+// globalPersonalization flattens VY⊗VU into a teleport vector over global
+// states, or returns nil (uniform) when neither layer is personalized.
+func globalPersonalization(m *Model, layout *Layout) matrix.Vector {
+	if m.VY == nil && m.VU == nil {
+		return nil
+	}
+	v := matrix.NewVector(layout.Total())
+	for pi := 0; pi < m.NumPhases(); pi++ {
+		py := 1.0 / float64(m.NumPhases())
+		if m.VY != nil {
+			py = m.VY[pi]
+		}
+		n := layout.Size(pi)
+		base := layout.Index(State{Phase: pi, Sub: 0})
+		var vu matrix.Vector
+		if m.VU != nil {
+			vu = m.VU[pi]
+		}
+		for j := 0; j < n; j++ {
+			pu := 1.0 / float64(n)
+			if vu != nil {
+				pu = vu[j]
+			}
+			v[base+j] = py * pu
+		}
+	}
+	return v.Normalize()
+}
+
+// All bundles the four approaches computed from one shared set of local
+// ranks, plus the assembled W — the complete Figure 2 computation.
+type All struct {
+	Layout *Layout
+	// Local holds π^I_G per phase.
+	Local []matrix.Vector
+	// W is the global transition matrix of eq. (3).
+	W *matrix.Dense
+	// PiY and PiYTilde are the adjusted and direct phase-layer
+	// distributions (πY and π̃Y of §2.3.3).
+	PiY, PiYTilde matrix.Vector
+	// A1, A2, A3, A4 are the four rankings; A2 is nil when W is not
+	// primitive, A4 nil when Y is not primitive.
+	A1, A2, A3, A4 *Ranking
+}
+
+// ComputeAll runs every approach on the model, sharing the local-rank
+// computation, and returns the full bundle. Non-primitivity of Y/W makes
+// the corresponding rankings nil rather than failing the bundle.
+func ComputeAll(m *Model, cfg Config) (*All, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	local, err := LocalRanks(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, layout := GlobalMatrix(m, local)
+	out := &All{Layout: layout, Local: local, W: w}
+
+	resY, err := pagerank.Dense(m.Y, cfg.pagerankConfig(m.VY))
+	if err != nil {
+		return nil, fmt.Errorf("lmm: πY: %w", err)
+	}
+	out.PiY = resY.Scores
+	out.A3 = compose(m, out.PiY, local)
+
+	res1, err := pagerank.Dense(w, cfg.pagerankConfig(globalPersonalization(m, layout)))
+	if err != nil {
+		return nil, fmt.Errorf("lmm: approach 1: %w", err)
+	}
+	out.A1 = &Ranking{Scores: res1.Scores, Layout: layout}
+
+	if matrix.IsPrimitive(w) {
+		res2, err := matrix.PowerLeft(w, cfg.powerOptions())
+		if err != nil {
+			return nil, fmt.Errorf("lmm: approach 2: %w", err)
+		}
+		out.A2 = &Ranking{Scores: res2.Vector, Layout: layout}
+	}
+	if matrix.IsPrimitive(m.Y) {
+		piYT, err := markov.StationaryDense(m.Y, cfg.powerOptions())
+		if err != nil {
+			return nil, fmt.Errorf("lmm: π̃Y: %w", err)
+		}
+		out.PiYTilde = piYT
+		out.A4 = compose(m, piYT, local)
+	}
+	return out, nil
+}
+
+// PartitionGap quantifies Theorem 2 on a concrete model: the L1 distance
+// between the centralized Approach 2 and the decentralized Layered Method.
+// A correct implementation returns a gap at the level of the convergence
+// tolerance.
+func PartitionGap(m *Model, cfg Config) (float64, error) {
+	a2, err := Approach2(m, cfg)
+	if err != nil {
+		return 0, err
+	}
+	a4, err := LayeredMethod(m, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return a2.Scores.L1Diff(a4.Scores), nil
+}

@@ -1,0 +1,301 @@
+package lmm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lmmrank/internal/matrix"
+)
+
+// paperTol matches the 4-decimal rounding of the published vectors: each
+// of n entries may be off by 5e-5, plus convergence slack.
+const paperTol = 5e-4
+
+func TestLocalRanksReproducePaper(t *testing.T) {
+	m := PaperExample()
+	local, err := LocalRanks(m, Config{})
+	if err != nil {
+		t.Fatalf("LocalRanks: %v", err)
+	}
+	wants := []matrix.Vector{PaperPi1G, PaperPi2G, PaperPi3G}
+	for i, want := range wants {
+		if local[i].L1Diff(want) > paperTol {
+			t.Errorf("π%dG = %v, want ≈ %v", i+1, local[i], want)
+		}
+	}
+}
+
+func TestGlobalMatrixMatchesPaperEntry(t *testing.T) {
+	// §2.3.2: w_(3,5)(2,3) = y_32·u²_G3 = 0.5 × 0.6117 = 0.3059.
+	m := PaperExample()
+	local, err := LocalRanks(m, Config{})
+	if err != nil {
+		t.Fatalf("LocalRanks: %v", err)
+	}
+	w, layout := GlobalMatrix(m, local)
+	row := layout.Index(State{Phase: 2, Sub: 4}) // (3,5) 1-based
+	col := layout.Index(State{Phase: 1, Sub: 2}) // (2,3) 1-based
+	if got := w.At(row, col); math.Abs(got-0.3059) > paperTol {
+		t.Errorf("w_(3,5)(2,3) = %.4f, want 0.3059", got)
+	}
+}
+
+func TestGlobalMatrixProperties(t *testing.T) {
+	m := PaperExample()
+	local, err := LocalRanks(m, Config{})
+	if err != nil {
+		t.Fatalf("LocalRanks: %v", err)
+	}
+	w, layout := GlobalMatrix(m, local)
+	if w.Order() != 12 {
+		t.Fatalf("W order = %d", w.Order())
+	}
+	// Lemma 1: W is row-stochastic.
+	if !w.IsRowStochastic(1e-9) {
+		t.Error("W violates the raw stochastic property (Lemma 1)")
+	}
+	// Lemma 2: W primitive when Y primitive and local ranks positive.
+	if !matrix.IsPrimitive(w) {
+		t.Error("W not primitive (Lemma 2)")
+	}
+	// Paper §2.3.2: rows pertaining to one phase are constant.
+	r1 := layout.Index(State{Phase: 0, Sub: 0})
+	r2 := layout.Index(State{Phase: 0, Sub: 3})
+	for j := 0; j < w.Order(); j++ {
+		if w.At(r1, j) != w.At(r2, j) {
+			t.Fatalf("rows of phase 1 differ at column %d", j)
+		}
+	}
+}
+
+func TestApproach1ReproducesFigure2(t *testing.T) {
+	m := PaperExample()
+	r, err := Approach1(m, Config{})
+	if err != nil {
+		t.Fatalf("Approach1: %v", err)
+	}
+	if r.Scores.L1Diff(PaperPiW) > 12*paperTol {
+		t.Errorf("πW = %v\nwant ≈ %v", r.Scores, PaperPiW)
+	}
+	if got := r.Positions(); !equalInts(got, PaperOrder) {
+		t.Errorf("order = %v, want %v", got, PaperOrder)
+	}
+}
+
+func TestApproach2ReproducesFigure2(t *testing.T) {
+	m := PaperExample()
+	r, err := Approach2(m, Config{})
+	if err != nil {
+		t.Fatalf("Approach2: %v", err)
+	}
+	if r.Scores.L1Diff(PaperPiWTilde) > 12*paperTol {
+		t.Errorf("π̃W = %v\nwant ≈ %v", r.Scores, PaperPiWTilde)
+	}
+	if got := r.Positions(); !equalInts(got, PaperOrder) {
+		t.Errorf("order = %v, want %v", got, PaperOrder)
+	}
+}
+
+func TestApproach3ReproducesPaperValue(t *testing.T) {
+	// §2.3.3: π(2,3) = πY(2)·π²G(3) = 0.4015 × 0.6117 = 0.2456.
+	m := PaperExample()
+	r, err := Approach3(m, Config{})
+	if err != nil {
+		t.Fatalf("Approach3: %v", err)
+	}
+	if got := r.Score(State{Phase: 1, Sub: 2}); math.Abs(got-0.2456) > paperTol {
+		t.Errorf("π(2,3) = %.4f, want 0.2456", got)
+	}
+	if !r.Scores.IsDistribution(1e-8) {
+		t.Error("Approach 3 result is not a distribution (Theorem 1)")
+	}
+}
+
+func TestLayeredMethodReproducesPaperValue(t *testing.T) {
+	// §2.3.3: π̃(2,3) = π̃Y(2)·π²G(3) = 0.4154 × 0.6117 = 0.2541.
+	m := PaperExample()
+	r, err := LayeredMethod(m, Config{})
+	if err != nil {
+		t.Fatalf("LayeredMethod: %v", err)
+	}
+	if got := r.Score(State{Phase: 1, Sub: 2}); math.Abs(got-0.2541) > paperTol {
+		t.Errorf("π̃(2,3) = %.4f, want 0.2541", got)
+	}
+	if r.Scores.L1Diff(PaperPiWTilde) > 12*paperTol {
+		t.Errorf("Layered Method = %v\nwant ≈ %v (π̃W)", r.Scores, PaperPiWTilde)
+	}
+}
+
+func TestCorollary1Approach2EqualsApproach4(t *testing.T) {
+	m := PaperExample()
+	gap, err := PartitionGap(m, Config{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("PartitionGap: %v", err)
+	}
+	if gap > 1e-8 {
+		t.Errorf("‖A2 − A4‖₁ = %g, want ≈ 0 (Corollary 1)", gap)
+	}
+}
+
+func TestTopThreeStatesMatchPaper(t *testing.T) {
+	// "the top three (highly ranked) overall system states are number
+	// 7, 8 and 6, namely (2,3), (3,1) and (2,2)."
+	m := PaperExample()
+	r, err := LayeredMethod(m, Config{})
+	if err != nil {
+		t.Fatalf("LayeredMethod: %v", err)
+	}
+	order := r.Order()
+	want := []State{{1, 2}, {2, 0}, {1, 1}}
+	for i, w := range want {
+		if order[i] != w {
+			t.Errorf("top-%d = %v, want %v", i+1, order[i], w)
+		}
+	}
+}
+
+func TestComputeAllBundle(t *testing.T) {
+	m := PaperExample()
+	all, err := ComputeAll(m, Config{})
+	if err != nil {
+		t.Fatalf("ComputeAll: %v", err)
+	}
+	if all.A1 == nil || all.A2 == nil || all.A3 == nil || all.A4 == nil {
+		t.Fatal("missing rankings in bundle")
+	}
+	if all.PiY.L1Diff(PaperPiY) > paperTol {
+		t.Errorf("πY = %v, want ≈ %v", all.PiY, PaperPiY)
+	}
+	if all.PiYTilde.L1Diff(PaperPiYTilde) > paperTol {
+		t.Errorf("π̃Y = %v, want ≈ %v", all.PiYTilde, PaperPiYTilde)
+	}
+	if !all.A1.SameOrder(all.A2) {
+		t.Error("Figure 2: Approach 1 and 2 should rank identically on the example")
+	}
+	if gap := all.A2.Scores.L1Diff(all.A4.Scores); gap > 1e-7 {
+		t.Errorf("bundle A2 vs A4 gap = %g", gap)
+	}
+}
+
+func TestApproach2RejectsNonPrimitiveY(t *testing.T) {
+	// Periodic Y: phases alternate deterministically. W inherits the
+	// periodicity, so Approach 2 and the Layered Method must refuse.
+	y := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	u := matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	m := &Model{Y: y, U: []*matrix.Dense{u, u.Clone()}}
+	if _, err := Approach2(m, Config{}); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("Approach2 err = %v, want ErrNotPrimitive", err)
+	}
+	if _, err := LayeredMethod(m, Config{}); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("LayeredMethod err = %v, want ErrNotPrimitive", err)
+	}
+	// Approach 1 and 3 still work (maximal irreducibility repairs W/Y).
+	if _, err := Approach1(m, Config{}); err != nil {
+		t.Errorf("Approach1 should handle periodic Y: %v", err)
+	}
+	if _, err := Approach3(m, Config{}); err != nil {
+		t.Errorf("Approach3 should handle periodic Y: %v", err)
+	}
+}
+
+func TestPersonalizationShiftsLayeredRanking(t *testing.T) {
+	m := PaperExample()
+	base, err := LayeredMethod(m, Config{})
+	if err != nil {
+		t.Fatalf("LayeredMethod: %v", err)
+	}
+	// Personalize the document layer of phase 1 (paper's phase 2) toward
+	// its first sub-state.
+	m.VU = []matrix.Vector{nil, {0.98, 0.01, 0.01}, nil}
+	pers, err := LayeredMethod(m, Config{})
+	if err != nil {
+		t.Fatalf("LayeredMethod personalized: %v", err)
+	}
+	s := State{Phase: 1, Sub: 0}
+	if pers.Score(s) <= base.Score(s) {
+		t.Errorf("personalization did not lift %v: %g vs %g", s, pers.Score(s), base.Score(s))
+	}
+	if !pers.Scores.IsDistribution(1e-8) {
+		t.Error("personalized ranking is not a distribution")
+	}
+}
+
+func TestRankingAccessors(t *testing.T) {
+	m := PaperExample()
+	r, err := LayeredMethod(m, Config{})
+	if err != nil {
+		t.Fatalf("LayeredMethod: %v", err)
+	}
+	if got := r.Score(State{Phase: 1, Sub: 2}); got != r.Scores[6] {
+		t.Errorf("Score accessor mismatch: %g vs %g", got, r.Scores[6])
+	}
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	pos := r.Positions()
+	order := r.Order()
+	for p, st := range order {
+		if pos[r.Layout.Index(st)] != p+1 {
+			t.Errorf("Positions/Order disagree at %v", st)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComputeAllNonPrimitiveY(t *testing.T) {
+	// Periodic Y: the bundle must still deliver A1/A3 while marking the
+	// primitivity-dependent A2/A4 as unavailable.
+	y := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	u := matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	m := &Model{Y: y, U: []*matrix.Dense{u, u.Clone()}}
+	all, err := ComputeAll(m, Config{})
+	if err != nil {
+		t.Fatalf("ComputeAll: %v", err)
+	}
+	if all.A1 == nil || all.A3 == nil {
+		t.Error("adjusted approaches missing")
+	}
+	if all.A2 != nil || all.A4 != nil {
+		t.Error("direct approaches should be nil for periodic Y")
+	}
+	if all.PiYTilde != nil {
+		t.Error("π̃Y should be absent for periodic Y")
+	}
+	// W is still assembled and stochastic even when periodic.
+	if !all.W.IsRowStochastic(1e-9) {
+		t.Error("W not stochastic")
+	}
+}
+
+func TestLocalRanksWithDanglingPhaseRow(t *testing.T) {
+	// A phase whose sub-state chain has a dangling row still yields a
+	// positive local rank (the gatekeeper construction repairs it).
+	y := matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	u1 := matrix.FromRows([][]float64{{0, 1}, {0, 0}}) // row 1 dangling
+	u2 := matrix.FromRows([][]float64{{1}})
+	m := &Model{Y: y, U: []*matrix.Dense{u1, u2}}
+	local, err := LocalRanks(m, Config{})
+	if err != nil {
+		t.Fatalf("LocalRanks: %v", err)
+	}
+	for _, v := range local[0] {
+		if v <= 0 {
+			t.Errorf("local rank has non-positive entry: %v", local[0])
+		}
+	}
+	if local[1][0] != 1 {
+		t.Errorf("singleton phase local rank = %v", local[1])
+	}
+}

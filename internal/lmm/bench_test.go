@@ -1,0 +1,88 @@
+package lmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/graph"
+)
+
+func benchChurnWeb(b *testing.B) *graph.DocGraph {
+	b.Helper()
+	return randomWeb(rand.New(rand.NewSource(99)), 40, 2000)
+}
+
+func BenchmarkLayeredDocRank(b *testing.B) {
+	dg := benchChurnWeb(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LayeredDocRank(dg, WebConfig{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlobalPageRank(b *testing.B) {
+	dg := benchChurnWeb(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GlobalPageRank(dg, WebConfig{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalUpdate compares churn handling: one site changes,
+// incremental update vs full recomputation.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	dg := benchChurnWeb(b)
+	cfg := WebConfig{Tol: 1e-9}
+	prev, err := LayeredDocRank(dg, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := dg.Sites[3].Docs
+	dg.G.AddLink(int(docs[0]), int(docs[len(docs)-1]))
+
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := UpdateLayeredDocRank(dg, prev, []graph.SiteID{3}, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LayeredDocRank(dg, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGlobalMatrixAssembly(b *testing.B) {
+	m := PaperExample()
+	local, err := LocalRanks(m, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GlobalMatrix(m, local)
+	}
+}
+
+func BenchmarkHierarchyRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	h := randomHierarchy(rng, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LayeredHierarchyRank(h, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

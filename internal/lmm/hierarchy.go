@@ -1,0 +1,207 @@
+package lmm
+
+import (
+	"errors"
+	"fmt"
+
+	"lmmrank/internal/markov"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// Hierarchy is the multi-layer generalization the paper sketches in §2.2
+// ("the analysis can be extended to multi-layer models using similar
+// reasoning"): a tree of Markov chains. An internal node holds a
+// transition matrix over its children (e.g. domains over sites); a leaf
+// node holds a transition matrix over final sub-states (pages).
+//
+// Ranking proceeds exactly as in the two-layer model, applied recursively:
+// every non-root group is entered through its gatekeeper, whose entry
+// distribution is the group's local PageRank — for an internal group,
+// composed with its children's entry distributions. The root chain, which
+// is never "entered", uses its plain stationary distribution. Because the
+// proof of Theorem 2 only requires each phase's entry vector to be a
+// probability distribution, the Partition Theorem applies unchanged with
+// "entry distribution of the subtree" in place of π^J_G, so the recursive
+// composition equals the stationary distribution of the corresponding
+// flattened global chain (TestNestedPartitionTheorem verifies this).
+type Hierarchy struct {
+	// M is the transition matrix over children (internal node) or over
+	// leaf sub-states (leaf node).
+	M *matrix.Dense
+	// Children holds one subtree per row of M; nil marks a leaf.
+	Children []*Hierarchy
+	// V optionally personalizes this node's chain (teleport/entry
+	// distribution); nil = uniform.
+	V matrix.Vector
+}
+
+// IsLeaf reports whether h has no children.
+func (h *Hierarchy) IsLeaf() bool { return len(h.Children) == 0 }
+
+// Validate checks the recursive structural constraints.
+func (h *Hierarchy) Validate() error {
+	if h == nil || h.M == nil {
+		return fmt.Errorf("%w: nil hierarchy node", ErrInvalidModel)
+	}
+	if h.M.Rows() != h.M.Cols() || h.M.Rows() == 0 {
+		return fmt.Errorf("%w: node matrix is %dx%d", ErrInvalidModel, h.M.Rows(), h.M.Cols())
+	}
+	if err := checkStochasticRows(h.M, true); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidModel, err)
+	}
+	if h.V != nil {
+		if len(h.V) != h.M.Rows() {
+			return fmt.Errorf("%w: V length %d vs order %d", ErrInvalidModel, len(h.V), h.M.Rows())
+		}
+		if !h.V.IsDistribution(1e-6) {
+			return fmt.Errorf("%w: V is not a distribution", ErrInvalidModel)
+		}
+	}
+	if h.IsLeaf() {
+		return nil
+	}
+	if len(h.Children) != h.M.Rows() {
+		return fmt.Errorf("%w: %d children vs %d rows", ErrInvalidModel, len(h.Children), h.M.Rows())
+	}
+	for i, c := range h.Children {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("child %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NumLeafStates returns the total number of leaf sub-states of the
+// subtree.
+func (h *Hierarchy) NumLeafStates() int {
+	if h.IsLeaf() {
+		return h.M.Rows()
+	}
+	var t int
+	for _, c := range h.Children {
+		t += c.NumLeafStates()
+	}
+	return t
+}
+
+// Depth returns the number of layers (a leaf alone is depth 1; the
+// two-layer Model corresponds to depth 2).
+func (h *Hierarchy) Depth() int {
+	if h.IsLeaf() {
+		return 1
+	}
+	max := 0
+	for _, c := range h.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// EntryDistribution returns the gatekeeper entry distribution of the
+// subtree over its leaf sub-states: for a leaf node the local PageRank of
+// its chain; for an internal node the local PageRank over children
+// composed recursively with each child's entry distribution.
+func (h *Hierarchy) EntryDistribution(cfg Config) (matrix.Vector, error) {
+	res, err := pagerank.Dense(h.M, cfg.pagerankConfig(h.V))
+	if err != nil {
+		return nil, fmt.Errorf("lmm: hierarchy entry: %w", err)
+	}
+	if h.IsLeaf() {
+		return res.Scores, nil
+	}
+	return h.composeChildren(res.Scores, cfg)
+}
+
+// LayeredHierarchyRank ranks all leaf sub-states of a multi-layer model:
+// the root chain's plain stationary distribution (requiring primitivity,
+// as in Theorem 2) composed with each child subtree's entry distribution.
+// Leaf scores are returned in depth-first order together with the layout
+// of top-level groups.
+func LayeredHierarchyRank(h *Hierarchy, cfg Config) (matrix.Vector, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if h.IsLeaf() {
+		// Degenerate single-layer model: the rank is the chain's own
+		// stationary distribution.
+		if !matrix.IsPrimitive(h.M) {
+			return nil, fmt.Errorf("%w: leaf chain", ErrNotPrimitive)
+		}
+		return markov.StationaryDense(h.M, cfg.powerOptions())
+	}
+	if !matrix.IsPrimitive(h.M) {
+		return nil, fmt.Errorf("%w: root chain", ErrNotPrimitive)
+	}
+	piRoot, err := markov.StationaryDense(h.M, cfg.powerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("lmm: hierarchy root: %w", err)
+	}
+	return h.composeChildren(piRoot, cfg)
+}
+
+// composeChildren multiplies a distribution over children with each
+// child's recursive entry distribution, concatenating depth-first.
+func (h *Hierarchy) composeChildren(over matrix.Vector, cfg Config) (matrix.Vector, error) {
+	out := make(matrix.Vector, 0, h.NumLeafStates())
+	for i, c := range h.Children {
+		entry, err := c.EntryDistribution(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("child %d: %w", i, err)
+		}
+		for _, p := range entry {
+			out = append(out, over[i]*p)
+		}
+	}
+	return out, nil
+}
+
+// FlattenToModel lowers a depth-3 (or deeper) hierarchy into an equivalent
+// two-layer Model whose phases are the root's children and whose phase
+// "local ranks" would be the children's entry distributions. It returns
+// ErrInvalidModel for a leaf-only hierarchy. The lowering is used by the
+// nested-partition tests: the flattened global matrix of the two-layer
+// theorem, built with subtree entry distributions, must have the recursive
+// composition as its stationary vector.
+var errLeafHierarchy = errors.New("lmm: cannot flatten a leaf-only hierarchy")
+
+// FlattenGlobalMatrix builds the global transition matrix of the flattened
+// chain: w_(I,i)(J,j) = m_IJ · entry_J(j), where I, J range over the
+// root's children and i, j over each subtree's leaf states.
+func FlattenGlobalMatrix(h *Hierarchy, cfg Config) (*matrix.Dense, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if h.IsLeaf() {
+		return nil, errLeafHierarchy
+	}
+	entries := make([]matrix.Vector, len(h.Children))
+	sizes := make([]int, len(h.Children))
+	for i, c := range h.Children {
+		e, err := c.EntryDistribution(cfg)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = e
+		sizes[i] = len(e)
+	}
+	layout := NewLayout(sizes)
+	n := layout.Total()
+	w := matrix.NewDense(n, n)
+	for pi := range h.Children {
+		template := make([]float64, n)
+		for pj := range h.Children {
+			y := h.M.At(pi, pj)
+			base := layout.Index(State{Phase: pj, Sub: 0})
+			for j, p := range entries[pj] {
+				template[base+j] = y * p
+			}
+		}
+		for i := 0; i < sizes[pi]; i++ {
+			w.SetRow(layout.Index(State{Phase: pi, Sub: i}), template)
+		}
+	}
+	return w, nil
+}

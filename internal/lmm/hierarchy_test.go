@@ -1,0 +1,203 @@
+package lmm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/matrix"
+)
+
+// randomLeaf builds a random leaf chain of 1..maxN states.
+func randomLeaf(rng *rand.Rand, maxN int) *Hierarchy {
+	n := rng.Intn(maxN) + 1
+	m := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := rng.Intn(n) + 1; k > 0; k-- {
+			m.Set(i, rng.Intn(n), rng.Float64()+0.05)
+		}
+	}
+	return &Hierarchy{M: m.NormalizeRows()}
+}
+
+// randomHierarchy builds a random tree of the given depth with a strictly
+// positive root.
+func randomHierarchy(rng *rand.Rand, depth int) *Hierarchy {
+	if depth <= 1 {
+		return randomLeaf(rng, 5)
+	}
+	k := rng.Intn(3) + 2
+	m := matrix.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, rng.Float64()+1e-3)
+		}
+	}
+	m.NormalizeRows()
+	children := make([]*Hierarchy, k)
+	for i := range children {
+		children[i] = randomHierarchy(rng, depth-1)
+	}
+	return &Hierarchy{M: m, Children: children}
+}
+
+func TestHierarchyTwoLayerMatchesModel(t *testing.T) {
+	// A depth-2 hierarchy built from the paper example must reproduce the
+	// Layered Method exactly.
+	m := PaperExample()
+	h := &Hierarchy{
+		M: m.Y,
+		Children: []*Hierarchy{
+			{M: m.U[0]}, {M: m.U[1]}, {M: m.U[2]},
+		},
+	}
+	got, err := LayeredHierarchyRank(h, Config{})
+	if err != nil {
+		t.Fatalf("LayeredHierarchyRank: %v", err)
+	}
+	want, err := LayeredMethod(m, Config{})
+	if err != nil {
+		t.Fatalf("LayeredMethod: %v", err)
+	}
+	if got.L1Diff(want.Scores) > 1e-10 {
+		t.Errorf("hierarchy %v\nvs model %v", got, want.Scores)
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	leaf := &Hierarchy{M: matrix.FromRows([][]float64{{1}})}
+	good := &Hierarchy{
+		M:        matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}}),
+		Children: []*Hierarchy{leaf, leaf},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+	bad := &Hierarchy{
+		M:        matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}}),
+		Children: []*Hierarchy{leaf}, // count mismatch
+	}
+	if err := bad.Validate(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("err = %v, want ErrInvalidModel", err)
+	}
+	var nilH *Hierarchy
+	if err := nilH.Validate(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("nil hierarchy: %v", err)
+	}
+}
+
+func TestHierarchyDepthAndLeafCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomHierarchy(rng, 3)
+	if h.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", h.Depth())
+	}
+	var count func(n *Hierarchy) int
+	count = func(n *Hierarchy) int {
+		if n.IsLeaf() {
+			return n.M.Rows()
+		}
+		var t int
+		for _, c := range n.Children {
+			t += count(c)
+		}
+		return t
+	}
+	if got, want := h.NumLeafStates(), count(h); got != want {
+		t.Errorf("NumLeafStates = %d, want %d", got, want)
+	}
+}
+
+func TestLayeredHierarchyRankIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for depth := 1; depth <= 4; depth++ {
+		h := randomHierarchy(rng, depth)
+		pi, err := LayeredHierarchyRank(h, Config{})
+		for depth == 1 && errors.Is(err, ErrNotPrimitive) {
+			// A random chain may be periodic or reducible; only the root
+			// requires primitivity, so draw another one.
+			h = randomHierarchy(rng, depth)
+			pi, err = LayeredHierarchyRank(h, Config{})
+		}
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if len(pi) != h.NumLeafStates() {
+			t.Errorf("depth %d: length %d vs %d leaves", depth, len(pi), h.NumLeafStates())
+		}
+		if !pi.IsDistribution(1e-8) {
+			t.Errorf("depth %d: not a distribution (sum %g)", depth, pi.Sum())
+		}
+	}
+}
+
+// TestNestedPartitionTheorem verifies the multi-layer extension: the
+// recursive composition is the stationary vector of the flattened global
+// chain, for depth-3 hierarchies — Theorem 2 applied with subtree entry
+// distributions in place of π^J_G.
+func TestNestedPartitionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		h := randomHierarchy(rng, 3)
+		w, err := FlattenGlobalMatrix(h, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: flatten: %v", trial, err)
+		}
+		if !w.IsRowStochastic(1e-8) {
+			t.Fatalf("trial %d: flattened W not stochastic", trial)
+		}
+		pi, err := LayeredHierarchyRank(h, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: rank: %v", trial, err)
+		}
+		next := matrix.NewVector(len(pi))
+		w.MulVecLeft(next, pi)
+		if d := next.L1Diff(pi); d > 1e-9 {
+			t.Errorf("trial %d: ‖πW − π‖₁ = %g", trial, d)
+		}
+	}
+}
+
+func TestFlattenLeafHierarchyFails(t *testing.T) {
+	leaf := &Hierarchy{M: matrix.FromRows([][]float64{{1}})}
+	if _, err := FlattenGlobalMatrix(leaf, Config{}); err == nil {
+		t.Fatal("flattening a leaf should fail")
+	}
+}
+
+func TestLeafOnlyHierarchyRank(t *testing.T) {
+	// Depth-1: plain stationary distribution of the chain itself.
+	h := &Hierarchy{M: matrix.FromRows([][]float64{{0.5, 0.5}, {1, 0}})}
+	pi, err := LayeredHierarchyRank(h, Config{})
+	if err != nil {
+		t.Fatalf("LayeredHierarchyRank: %v", err)
+	}
+	if pi.L1Diff(matrix.Vector{2.0 / 3, 1.0 / 3}) > 1e-9 {
+		t.Errorf("π = %v", pi)
+	}
+	periodic := &Hierarchy{M: matrix.FromRows([][]float64{{0, 1}, {1, 0}})}
+	if _, err := LayeredHierarchyRank(periodic, Config{}); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("periodic leaf: err = %v, want ErrNotPrimitive", err)
+	}
+}
+
+func TestHierarchyPersonalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	h := randomHierarchy(rng, 2)
+	base, err := LayeredHierarchyRank(h, Config{})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	// Personalize the first child's layer toward its first state.
+	c0 := h.Children[0]
+	v := matrix.NewVector(c0.M.Rows())
+	v[0] = 1
+	c0.V = v
+	pers, err := LayeredHierarchyRank(h, Config{})
+	if err != nil {
+		t.Fatalf("personalized: %v", err)
+	}
+	if pers[0] <= base[0] {
+		t.Errorf("personalization did not lift the first leaf: %g vs %g", pers[0], base[0])
+	}
+}

@@ -1,0 +1,225 @@
+// Package lmm implements the paper's contribution: the two-layer Layered
+// Markov Model (Definition 1), the gatekeeper-based layer decomposition
+// (Definitions 2–3, eq. 3), the four ranking approaches of §2.3, the
+// Partition Theorem (Theorem 2) that makes the decentralized Layered
+// Method exact, the §3.2 application to Web document ranking, and the
+// multi-layer extension sketched in §2.2.
+package lmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lmmrank/internal/matrix"
+)
+
+var (
+	// ErrInvalidModel is returned (wrapped) when a model violates the
+	// 6-tuple's structural constraints.
+	ErrInvalidModel = errors.New("lmm: invalid model")
+	// ErrNotPrimitive is returned (wrapped) when an approach requires a
+	// primitive matrix (Theorem 2's hypothesis) but the input is not.
+	ErrNotPrimitive = errors.New("lmm: matrix is not primitive")
+)
+
+// Model is the Layered Markov Model LMM = (P, Y, vY, O, U, vU) of
+// Definition 1. Phases (the paper's Web sites) are indexed 0..NumPhases-1;
+// sub-states (Web documents) of phase I are indexed 0..SubStates(I)-1.
+type Model struct {
+	// Y is the NP×NP phase-layer transition matrix.
+	Y *matrix.Dense
+	// U holds one sub-state transition matrix per phase.
+	U []*matrix.Dense
+	// VY is the initial/personalization distribution of the phase layer
+	// (nil = uniform). It feeds the maximal-irreducibility adjustment in
+	// Approach 1 and 3 and personalizes the site layer.
+	VY matrix.Vector
+	// VU holds the per-phase initial distributions v^I_U that the
+	// gatekeeper re-enters through (nil entries = uniform). They
+	// personalize the document layer.
+	VU []matrix.Vector
+}
+
+// NewModel builds and validates a model with uniform initial
+// distributions.
+func NewModel(y *matrix.Dense, u []*matrix.Dense) (*Model, error) {
+	m := &Model{Y: y, U: u}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NumPhases returns NP, the number of phases.
+func (m *Model) NumPhases() int { return len(m.U) }
+
+// SubStates returns n_I, the number of sub-states of phase I.
+func (m *Model) SubStates(i int) int { return m.U[i].Rows() }
+
+// TotalStates returns N_P = Σ n_I, the number of global system states.
+func (m *Model) TotalStates() int {
+	var t int
+	for _, u := range m.U {
+		t += u.Rows()
+	}
+	return t
+}
+
+// Layout returns the flattening of this model's (phase, sub-state) pairs.
+func (m *Model) Layout() *Layout {
+	sizes := make([]int, len(m.U))
+	for i, u := range m.U {
+		sizes[i] = u.Rows()
+	}
+	return NewLayout(sizes)
+}
+
+// Validate checks the structural constraints of Definition 1. Rows of Y
+// and of each U_I must be probability distributions; all-zero (dangling)
+// rows are tolerated in U because the irreducibility constructions repair
+// them, matching real Web data.
+func (m *Model) Validate() error {
+	if m.Y == nil || len(m.U) == 0 {
+		return fmt.Errorf("%w: nil Y or empty U", ErrInvalidModel)
+	}
+	np := len(m.U)
+	if m.Y.Rows() != np || m.Y.Cols() != np {
+		return fmt.Errorf("%w: Y is %dx%d but model has %d phases",
+			ErrInvalidModel, m.Y.Rows(), m.Y.Cols(), np)
+	}
+	if err := checkStochasticRows(m.Y, false); err != nil {
+		return fmt.Errorf("%w: Y: %v", ErrInvalidModel, err)
+	}
+	for i, u := range m.U {
+		if u == nil {
+			return fmt.Errorf("%w: U[%d] is nil", ErrInvalidModel, i)
+		}
+		if u.Rows() != u.Cols() || u.Rows() == 0 {
+			return fmt.Errorf("%w: U[%d] is %dx%d", ErrInvalidModel, i, u.Rows(), u.Cols())
+		}
+		if err := checkStochasticRows(u, true); err != nil {
+			return fmt.Errorf("%w: U[%d]: %v", ErrInvalidModel, i, err)
+		}
+	}
+	if m.VY != nil {
+		if len(m.VY) != np {
+			return fmt.Errorf("%w: vY length %d vs %d phases", ErrInvalidModel, len(m.VY), np)
+		}
+		if !m.VY.IsDistribution(1e-6) {
+			return fmt.Errorf("%w: vY is not a distribution", ErrInvalidModel)
+		}
+	}
+	if m.VU != nil {
+		if len(m.VU) != np {
+			return fmt.Errorf("%w: vU has %d entries vs %d phases", ErrInvalidModel, len(m.VU), np)
+		}
+		for i, v := range m.VU {
+			if v == nil {
+				continue
+			}
+			if len(v) != m.SubStates(i) {
+				return fmt.Errorf("%w: vU[%d] length %d vs %d sub-states",
+					ErrInvalidModel, i, len(v), m.SubStates(i))
+			}
+			if !v.IsDistribution(1e-6) {
+				return fmt.Errorf("%w: vU[%d] is not a distribution", ErrInvalidModel, i)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStochasticRows verifies each row is a distribution; when
+// allowDangling is set, all-zero rows pass.
+func checkStochasticRows(m *matrix.Dense, allowDangling bool) error {
+	for i := 0; i < m.Rows(); i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < -1e-9 || math.IsNaN(v) {
+				return fmt.Errorf("row %d has negative or NaN entry", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) <= 1e-6 {
+			continue
+		}
+		if allowDangling && sum == 0 {
+			continue
+		}
+		return fmt.Errorf("row %d sums to %g", i, sum)
+	}
+	return nil
+}
+
+// State identifies a global system state (I, i): sub-state i of phase I.
+// The paper writes these 1-based, e.g. (2,3); this package is 0-based.
+type State struct {
+	Phase, Sub int
+}
+
+// String renders the state 1-based to match the paper's notation.
+func (s State) String() string {
+	return fmt.Sprintf("(%d,%d)", s.Phase+1, s.Sub+1)
+}
+
+// Layout maps between (phase, sub-state) pairs and flat indices
+// 0..Total-1, ordered by phase then sub-state — the ordering of the
+// paper's Figure 2 listing.
+type Layout struct {
+	sizes   []int
+	offsets []int
+	total   int
+}
+
+// NewLayout builds a layout from per-phase sub-state counts.
+func NewLayout(sizes []int) *Layout {
+	l := &Layout{
+		sizes:   append([]int(nil), sizes...),
+		offsets: make([]int, len(sizes)),
+	}
+	for i, n := range sizes {
+		if n <= 0 {
+			panic(fmt.Sprintf("lmm: phase %d has non-positive size %d", i, n))
+		}
+		l.offsets[i] = l.total
+		l.total += n
+	}
+	return l
+}
+
+// Total returns the number of global system states.
+func (l *Layout) Total() int { return l.total }
+
+// NumPhases returns the number of phases.
+func (l *Layout) NumPhases() int { return len(l.sizes) }
+
+// Size returns the number of sub-states of phase i.
+func (l *Layout) Size(i int) int { return l.sizes[i] }
+
+// Index flattens a state. It panics on out-of-range states.
+func (l *Layout) Index(s State) int {
+	if s.Phase < 0 || s.Phase >= len(l.sizes) || s.Sub < 0 || s.Sub >= l.sizes[s.Phase] {
+		panic(fmt.Sprintf("lmm: state %v out of layout", s))
+	}
+	return l.offsets[s.Phase] + s.Sub
+}
+
+// State unflattens index k. It panics when k is out of range.
+func (l *Layout) State(k int) State {
+	if k < 0 || k >= l.total {
+		panic(fmt.Sprintf("lmm: flat index %d out of %d", k, l.total))
+	}
+	// Linear scan is fine: layouts have few phases relative to states and
+	// this is not on the hot path; binary search keeps large models fast.
+	lo, hi := 0, len(l.offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if l.offsets[mid] <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return State{Phase: lo, Sub: k - l.offsets[lo]}
+}

@@ -1,0 +1,124 @@
+package lmm
+
+import (
+	"errors"
+	"testing"
+
+	"lmmrank/internal/matrix"
+)
+
+func TestPaperExampleValid(t *testing.T) {
+	m := PaperExample()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NumPhases() != 3 {
+		t.Errorf("NumPhases = %d", m.NumPhases())
+	}
+	if m.TotalStates() != 12 {
+		t.Errorf("TotalStates = %d, want 12", m.TotalStates())
+	}
+	if m.SubStates(0) != 4 || m.SubStates(1) != 3 || m.SubStates(2) != 5 {
+		t.Errorf("sub-state counts: %d %d %d", m.SubStates(0), m.SubStates(1), m.SubStates(2))
+	}
+}
+
+func TestNewModelRejectsBadShapes(t *testing.T) {
+	y2 := matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	u := matrix.FromRows([][]float64{{1}})
+	tests := []struct {
+		name string
+		y    *matrix.Dense
+		u    []*matrix.Dense
+	}{
+		{"nil Y", nil, []*matrix.Dense{u}},
+		{"empty U", y2, nil},
+		{"Y/U count mismatch", y2, []*matrix.Dense{u}},
+		{"nil U entry", y2, []*matrix.Dense{u, nil}},
+		{
+			"non-stochastic Y",
+			matrix.FromRows([][]float64{{0.5, 0.6}, {0.5, 0.5}}),
+			[]*matrix.Dense{u, u},
+		},
+		{
+			"non-stochastic U",
+			y2,
+			[]*matrix.Dense{u, matrix.FromRows([][]float64{{2}})},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewModel(tt.y, tt.u); !errors.Is(err, ErrInvalidModel) {
+				t.Errorf("err = %v, want ErrInvalidModel", err)
+			}
+		})
+	}
+}
+
+func TestValidateDanglingSubStateRowAllowed(t *testing.T) {
+	y := matrix.FromRows([][]float64{{1}})
+	u := matrix.FromRows([][]float64{{0, 1}, {0, 0}}) // dangling row
+	if _, err := NewModel(y, []*matrix.Dense{u}); err != nil {
+		t.Errorf("dangling sub-state row rejected: %v", err)
+	}
+}
+
+func TestValidatePersonalizationVectors(t *testing.T) {
+	m := PaperExample()
+	m.VY = matrix.Vector{0.5, 0.5} // wrong length (3 phases)
+	if err := m.Validate(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("bad VY accepted: %v", err)
+	}
+	m.VY = matrix.Vector{0.2, 0.3, 0.5}
+	m.VU = []matrix.Vector{nil, {0.5, 0.5}, nil} // wrong length for phase 1 (3 subs)
+	if err := m.Validate(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("bad VU accepted: %v", err)
+	}
+	m.VU = []matrix.Vector{nil, {0.2, 0.3, 0.5}, nil}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid personalization rejected: %v", err)
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	l := NewLayout([]int{4, 3, 5})
+	if l.Total() != 12 || l.NumPhases() != 3 {
+		t.Fatalf("Total = %d, NumPhases = %d", l.Total(), l.NumPhases())
+	}
+	// The paper's state 7 is (2,3) 1-based = (1,2) 0-based, flat index 6.
+	if got := l.Index(State{Phase: 1, Sub: 2}); got != 6 {
+		t.Errorf("Index((1,2)) = %d, want 6", got)
+	}
+	for k := 0; k < l.Total(); k++ {
+		if got := l.Index(l.State(k)); got != k {
+			t.Errorf("round trip failed at %d → %v → %d", k, l.State(k), got)
+		}
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	l := NewLayout([]int{2, 2})
+	for _, fn := range []func(){
+		func() { l.Index(State{Phase: 2, Sub: 0}) },
+		func() { l.Index(State{Phase: 0, Sub: 2}) },
+		func() { l.State(4) },
+		func() { l.State(-1) },
+		func() { NewLayout([]int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStateStringIsOneBased(t *testing.T) {
+	s := State{Phase: 1, Sub: 2}
+	if got := s.String(); got != "(2,3)" {
+		t.Errorf("String = %q, want (2,3)", got)
+	}
+}

@@ -1,0 +1,68 @@
+package lmm
+
+import "lmmrank/internal/matrix"
+
+// PaperExample returns the worked example of the paper's §2.3: three
+// phases with 4, 3 and 5 sub-states, the phase matrix Y and sub-state
+// matrices U1–U3 exactly as printed. With Config{Alpha: 0.85} it
+// reproduces every published vector of Figure 2 and §2.3.2–2.3.3.
+func PaperExample() *Model {
+	y := matrix.FromRows([][]float64{
+		{0.1, 0.3, 0.6},
+		{0.2, 0.4, 0.4},
+		{0.3, 0.5, 0.2},
+	})
+	u1 := matrix.FromRows([][]float64{
+		{0.3, 0.3, 0.2, 0.2},
+		{0.5, 0.1, 0.1, 0.3},
+		{0.1, 0.2, 0.6, 0.1},
+		{0.4, 0.3, 0.1, 0.2},
+	})
+	u2 := matrix.FromRows([][]float64{
+		{0.2, 0.1, 0.7},
+		{0.1, 0.8, 0.1},
+		{0.05, 0.05, 0.9},
+	})
+	u3 := matrix.FromRows([][]float64{
+		{0.6, 0.02, 0.2, 0.1, 0.08},
+		{0.05, 0.2, 0.5, 0.05, 0.2},
+		{0.4, 0.1, 0.2, 0.1, 0.2},
+		{0.7, 0.1, 0.05, 0.1, 0.05},
+		{0.5, 0.2, 0.1, 0.1, 0.1},
+	})
+	return &Model{Y: y, U: []*matrix.Dense{u1, u2, u3}}
+}
+
+// Published results of the paper for the example model (4 decimal places
+// as printed). Exported for tests, benchmarks and the Figure 2 experiment.
+var (
+	// PaperPi1G, PaperPi2G, PaperPi3G are the local PageRank vectors of
+	// §2.3.2.
+	PaperPi1G = matrix.Vector{0.3054, 0.2312, 0.2582, 0.2052}
+	PaperPi2G = matrix.Vector{0.1191, 0.2691, 0.6117}
+	PaperPi3G = matrix.Vector{0.4557, 0.1038, 0.2014, 0.1106, 0.1285}
+
+	// PaperPiY and PaperPiYTilde are the adjusted and direct phase-layer
+	// distributions of §2.3.3.
+	PaperPiY      = matrix.Vector{0.2315, 0.4015, 0.3670}
+	PaperPiYTilde = matrix.Vector{0.2154, 0.4154, 0.3692}
+
+	// PaperPiW and PaperPiWTilde are the Figure 2 global rankings
+	// (Approach 1 and Approach 2 respectively), in global state order
+	// (1,1)...(3,5).
+	PaperPiW = matrix.Vector{
+		0.0682, 0.0547, 0.0596, 0.0499,
+		0.0545, 0.1073, 0.2281,
+		0.1562, 0.0452, 0.0760, 0.0474, 0.0530,
+	}
+	PaperPiWTilde = matrix.Vector{
+		0.0658, 0.0498, 0.0556, 0.0442,
+		0.0495, 0.1118, 0.2541,
+		0.1683, 0.0383, 0.0744, 0.0408, 0.0474,
+	}
+
+	// PaperOrder is the shared rank-position column of Figure 2: the
+	// position of each global state under both πW and π̃W (identical in
+	// the paper).
+	PaperOrder = []int{5, 7, 6, 10, 8, 3, 1, 2, 12, 4, 11, 9}
+)

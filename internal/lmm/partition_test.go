@@ -1,0 +1,156 @@
+package lmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lmmrank/internal/matrix"
+)
+
+// randomModel builds a random LMM with a strictly positive (hence
+// primitive) phase matrix and arbitrary sub-state chains, possibly
+// containing dangling rows and zero entries.
+func randomModel(rng *rand.Rand) *Model {
+	np := rng.Intn(5) + 2
+	y := matrix.NewDense(np, np)
+	for i := 0; i < np; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+		}
+	}
+	y.NormalizeRows()
+
+	us := make([]*matrix.Dense, np)
+	for p := range us {
+		n := rng.Intn(7) + 1
+		u := matrix.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			// Random sparse row; one in six rows dangles.
+			if rng.Intn(6) == 0 {
+				continue
+			}
+			deg := rng.Intn(n) + 1
+			for k := 0; k < deg; k++ {
+				u.Set(i, rng.Intn(n), rng.Float64()+0.05)
+			}
+		}
+		us[p] = u.NormalizeRows()
+	}
+	return &Model{Y: y, U: us}
+}
+
+// TestPartitionTheoremQuick is experiment E9: on randomized models
+// satisfying Theorem 2's hypothesis (Y primitive), the decentralized
+// Layered Method agrees with the centralized power method on W to
+// convergence tolerance.
+func TestPartitionTheoremQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		gap, err := PartitionGap(m, Config{Tol: 1e-12})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if gap > 1e-8 {
+			t.Logf("seed %d: gap %g", seed, gap)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionTheoremExactStationarity verifies the algebraic statement
+// of Theorem 2 directly: W'π̃ = π̃ for the composed vector, not merely
+// closeness to a power-method result.
+func TestPartitionTheoremExactStationarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(rng)
+		local, err := LocalRanks(m, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: LocalRanks: %v", trial, err)
+		}
+		w, _ := GlobalMatrix(m, local)
+		r, err := LayeredMethod(m, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: LayeredMethod: %v", trial, err)
+		}
+		next := matrix.NewVector(len(r.Scores))
+		w.MulVecLeft(next, r.Scores)
+		if d := next.L1Diff(r.Scores); d > 1e-9 {
+			t.Errorf("trial %d: ‖π̃W − π̃‖₁ = %g, want ≈ 0", trial, d)
+		}
+	}
+}
+
+// TestTheorem1Quick: every approach returns a probability distribution on
+// random models (Theorem 1 for the layered composition; stochasticity of
+// the adjusted chains for the others).
+func TestTheorem1Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		all, err := ComputeAll(m, Config{})
+		if err != nil {
+			return false
+		}
+		for _, r := range []*Ranking{all.A1, all.A2, all.A3, all.A4} {
+			if r == nil || !r.Scores.IsDistribution(1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma1Lemma2Quick: W is row-stochastic (Lemma 1) and primitive when
+// Y is primitive (Lemma 2), across random models.
+func TestLemma1Lemma2Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		local, err := LocalRanks(m, Config{})
+		if err != nil {
+			return false
+		}
+		w, _ := GlobalMatrix(m, local)
+		return w.IsRowStochastic(1e-8) && matrix.IsPrimitive(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPersonalizedPartitionTheorem: Theorem 2 holds with personalization
+// at both layers, the paper's §3.2 remark — the composed personalized
+// vector is stationary for the W assembled from personalized local ranks.
+func TestPersonalizedPartitionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		m := randomModel(rng)
+		m.VU = make([]matrix.Vector, m.NumPhases())
+		for i := range m.VU {
+			v := matrix.NewVector(m.SubStates(i))
+			for j := range v {
+				v[j] = rng.Float64() + 0.05
+			}
+			m.VU[i] = v.Normalize()
+		}
+		gap, err := PartitionGap(m, Config{Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gap > 1e-8 {
+			t.Errorf("trial %d: personalized gap %g", trial, gap)
+		}
+	}
+}

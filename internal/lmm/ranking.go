@@ -1,0 +1,79 @@
+package lmm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lmmrank/internal/matrix"
+)
+
+// Ranking is a probability distribution over the global system states of a
+// model, together with the layout that names each entry.
+type Ranking struct {
+	// Scores holds one score per global state in layout order.
+	Scores matrix.Vector
+	// Layout maps flat indices to (phase, sub-state) pairs.
+	Layout *Layout
+}
+
+// Score returns the score of global state s.
+func (r *Ranking) Score(s State) float64 {
+	return r.Scores[r.Layout.Index(s)]
+}
+
+// Order returns all states sorted by descending score; ties break toward
+// the lower flat index, keeping orderings deterministic.
+func (r *Ranking) Order() []State {
+	idx := make([]int, len(r.Scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if r.Scores[idx[a]] != r.Scores[idx[b]] {
+			return r.Scores[idx[a]] > r.Scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]State, len(idx))
+	for pos, k := range idx {
+		out[pos] = r.Layout.State(k)
+	}
+	return out
+}
+
+// Positions returns the 1-based rank position of every state in layout
+// order — the right-hand column of the paper's Figure 2.
+func (r *Ranking) Positions() []int {
+	order := r.Order()
+	pos := make([]int, len(r.Scores))
+	for p, s := range order {
+		pos[r.Layout.Index(s)] = p + 1
+	}
+	return pos
+}
+
+// String renders the ranking in the Figure 2 format: state, score, rank
+// position.
+func (r *Ranking) String() string {
+	var b strings.Builder
+	pos := r.Positions()
+	for k := 0; k < len(r.Scores); k++ {
+		fmt.Fprintf(&b, "%2d : %-7s %.4f  %2d\n", k+1, r.Layout.State(k), r.Scores[k], pos[k])
+	}
+	return b.String()
+}
+
+// SameOrder reports whether two rankings order all states identically.
+func (r *Ranking) SameOrder(other *Ranking) bool {
+	a, b := r.Order(), other.Order()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

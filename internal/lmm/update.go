@@ -1,0 +1,110 @@
+package lmm
+
+import (
+	"errors"
+	"fmt"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// ErrStaleResult is returned (wrapped) when an incremental update cannot
+// reuse a previous result (site roster changed shape in unchanged sites);
+// the caller should fall back to a full LayeredDocRank.
+var ErrStaleResult = errors.New("lmm: previous result is stale")
+
+// UpdateLayeredDocRank refreshes a previous layered ranking after the
+// listed sites changed (pages or links added/removed, new sites appended).
+// This is the churn path of the paper's P2P setting: because the
+// Partition Theorem composes independent per-site vectors, only the
+// changed sites' local DocRanks must be recomputed; the small SiteRank is
+// re-solved warm-started from its previous value, and the composition is
+// a single O(N_D) pass. Unchanged sites' local ranks are reused verbatim.
+//
+// Requirements: dg must contain at least the sites of prev, and every
+// site not listed in changed must have the same document roster size as
+// before (otherwise ErrStaleResult). Newly appended sites must be listed
+// in changed.
+func UpdateLayeredDocRank(dg *graph.DocGraph, prev *WebResult, changed []graph.SiteID, cfg WebConfig) (*WebResult, error) {
+	if err := dg.Validate(); err != nil {
+		return nil, fmt.Errorf("lmm: update: %w", err)
+	}
+	if prev == nil {
+		return nil, fmt.Errorf("lmm: update: nil previous result")
+	}
+	if dg.NumSites() < len(prev.LocalRanks) {
+		return nil, fmt.Errorf("%w: graph has %d sites, previous result %d (sites removed?)",
+			ErrStaleResult, dg.NumSites(), len(prev.LocalRanks))
+	}
+	changedSet := make(map[graph.SiteID]bool, len(changed))
+	for _, s := range changed {
+		if int(s) < 0 || int(s) >= dg.NumSites() {
+			return nil, fmt.Errorf("lmm: update: changed site %d out of range", s)
+		}
+		changedSet[s] = true
+	}
+	// New sites (beyond prev's roster) are implicitly changed.
+	for s := len(prev.LocalRanks); s < dg.NumSites(); s++ {
+		changedSet[graph.SiteID(s)] = true
+	}
+	// Unchanged sites must still align with the previous local vectors.
+	for s := 0; s < len(prev.LocalRanks); s++ {
+		if changedSet[graph.SiteID(s)] {
+			continue
+		}
+		if dg.SiteSize(graph.SiteID(s)) != len(prev.LocalRanks[s]) {
+			return nil, fmt.Errorf("%w: site %d has %d docs, previous local rank %d — list it as changed",
+				ErrStaleResult, s, dg.SiteSize(graph.SiteID(s)), len(prev.LocalRanks[s]))
+		}
+	}
+
+	// SiteRank: always refreshed (any link change can shift it), warm-
+	// started from the previous vector padded for new sites.
+	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
+	start := matrix.NewVector(dg.NumSites())
+	copy(start, prev.SiteRank)
+	for s := len(prev.SiteRank); s < dg.NumSites(); s++ {
+		start[s] = 1.0 / float64(dg.NumSites())
+	}
+	siteRes, err := pagerank.Graph(sg.G, pagerank.Config{
+		Damping:         cfg.Damping,
+		Personalization: cfg.SitePersonalization,
+		Tol:             cfg.Tol,
+		MaxIter:         cfg.MaxIter,
+		Start:           start.Normalize(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lmm: update: siterank: %w", err)
+	}
+
+	// Local ranks: recompute only the changed sites.
+	out := &WebResult{
+		DocRank:         matrix.NewVector(dg.NumDocs()),
+		SiteRank:        siteRes.Scores,
+		LocalRanks:      make([]matrix.Vector, dg.NumSites()),
+		SiteIterations:  siteRes.Iterations,
+		LocalIterations: make([]int, dg.NumSites()),
+	}
+	for s := 0; s < dg.NumSites(); s++ {
+		if !changedSet[graph.SiteID(s)] {
+			out.LocalRanks[s] = prev.LocalRanks[s]
+			continue
+		}
+		local, iters, err := localDocRank(dg, graph.SiteID(s), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("lmm: update: site %d: %w", s, err)
+		}
+		out.LocalRanks[s] = local
+		out.LocalIterations[s] = iters
+	}
+
+	// Compose.
+	for s := range dg.Sites {
+		w := out.SiteRank[s]
+		for i, d := range dg.Sites[s].Docs {
+			out.DocRank[d] = w * out.LocalRanks[s][i]
+		}
+	}
+	return out, nil
+}

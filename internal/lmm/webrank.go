@@ -1,0 +1,202 @@
+package lmm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// WebConfig parameterizes the §3.2 pipeline ("Layered Method for
+// DocRank") on a DocGraph.
+type WebConfig struct {
+	// Damping is the PageRank damping factor / gatekeeper α (0 = 0.85).
+	Damping float64
+	// Tol and MaxIter bound each power-method run (0 = package defaults).
+	Tol     float64
+	MaxIter int
+	// SiteGraph controls SiteLink aggregation (§3.1).
+	SiteGraph graph.SiteGraphOptions
+	// SitePersonalization optionally biases the site layer (length
+	// NumSites); nil = uniform. This is "personalization at the higher
+	// layer" of §3.2.
+	SitePersonalization matrix.Vector
+	// DocPersonalization optionally biases individual sites' document
+	// layers: per-site teleport vectors in local-index order. Missing
+	// sites use uniform. This is "personalization at the lower layer".
+	DocPersonalization map[graph.SiteID]matrix.Vector
+	// Parallelism caps the number of concurrent local DocRank
+	// computations (0 = GOMAXPROCS). Step 3 of §3.2 "can be completely
+	// decentralized"; within one process that means data-parallel.
+	Parallelism int
+}
+
+// WebResult is the outcome of the layered DocRank pipeline.
+type WebResult struct {
+	// DocRank holds the final global ranking per DocID — the paper's
+	// DocRank(G_D) = (πS(s1)·πD(s1)', …, πS(sNS)·πD(sNS)')'.
+	DocRank matrix.Vector
+	// SiteRank holds πS per SiteID.
+	SiteRank matrix.Vector
+	// LocalRanks holds each site's local DocRank in local-index order
+	// (aligned with graph.DocGraph.Sites[s].Docs).
+	LocalRanks []matrix.Vector
+	// SiteIterations and LocalIterations record power-method work, used
+	// by the complexity experiments (E6).
+	SiteIterations  int
+	LocalIterations []int
+}
+
+// LayeredDocRank executes the five steps of §3.2 on a document graph:
+// derive the SiteGraph, compute the SiteRank πS = PageRank(Mˆ(G_S)),
+// compute each site's local DocRank πD(s) = PageRank(Mˆ(G^s_d))
+// independently (in parallel), and compose the global DocRank by the
+// Partition Theorem.
+func LayeredDocRank(dg *graph.DocGraph, cfg WebConfig) (*WebResult, error) {
+	if err := dg.Validate(); err != nil {
+		return nil, fmt.Errorf("lmm: layered docrank: %w", err)
+	}
+	if dg.NumDocs() == 0 {
+		return nil, fmt.Errorf("lmm: layered docrank: empty graph")
+	}
+
+	// Steps 1–2: SiteGraph derivation.
+	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
+
+	// Step 4 (independent of step 3, so run it first — its result is
+	// small and needed for composition either way): SiteRank.
+	siteRes, err := pagerank.Graph(sg.G, pagerank.Config{
+		Damping:         cfg.Damping,
+		Personalization: cfg.SitePersonalization,
+		Tol:             cfg.Tol,
+		MaxIter:         cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lmm: siterank: %w", err)
+	}
+
+	// Step 3: local DocRanks, one per site, in parallel.
+	local, localIters, err := localDocRanks(dg, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 5: weighted composition.
+	out := &WebResult{
+		DocRank:         matrix.NewVector(dg.NumDocs()),
+		SiteRank:        siteRes.Scores,
+		LocalRanks:      local,
+		SiteIterations:  siteRes.Iterations,
+		LocalIterations: localIters,
+	}
+	for s := range dg.Sites {
+		w := siteRes.Scores[s]
+		for i, d := range dg.Sites[s].Docs {
+			out.DocRank[d] = w * local[s][i]
+		}
+	}
+	return out, nil
+}
+
+// localDocRanks computes πD(s) for every site concurrently.
+func localDocRanks(dg *graph.DocGraph, cfg WebConfig) ([]matrix.Vector, []int, error) {
+	ns := dg.NumSites()
+	local := make([]matrix.Vector, ns)
+	iters := make([]int, ns)
+	errs := make([]error, ns)
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ns {
+		workers = ns
+	}
+
+	var wg sync.WaitGroup
+	sites := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range sites {
+				local[s], iters[s], errs[s] = localDocRank(dg, graph.SiteID(s), cfg)
+			}
+		}()
+	}
+	for s := 0; s < ns; s++ {
+		sites <- s
+	}
+	close(sites)
+	wg.Wait()
+
+	for s, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("lmm: local docrank of site %d (%s): %w",
+				s, dg.Sites[s].Name, err)
+		}
+	}
+	return local, iters, nil
+}
+
+// localDocRank computes one site's local DocRank (step 3 for one site).
+// Exported-shape logic shared by the in-process pipeline and the
+// distributed worker, which runs exactly this on its own peers.
+func localDocRank(dg *graph.DocGraph, s graph.SiteID, cfg WebConfig) (matrix.Vector, int, error) {
+	n := dg.SiteSize(s)
+	switch n {
+	case 0:
+		return matrix.Vector{}, 0, nil
+	case 1:
+		// A single-document site trivially holds all local mass.
+		return matrix.Vector{1}, 0, nil
+	}
+	sub, _ := dg.LocalSubgraph(s)
+	var pers matrix.Vector
+	if cfg.DocPersonalization != nil {
+		pers = cfg.DocPersonalization[s]
+	}
+	res, err := pagerank.Graph(sub, pagerank.Config{
+		Damping:         cfg.Damping,
+		Personalization: pers,
+		Tol:             cfg.Tol,
+		MaxIter:         cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Scores, res.Iterations, nil
+}
+
+// LocalDocRank computes the local DocRank of a single standalone site
+// subgraph, as a distributed worker does for the sites it hosts.
+func LocalDocRank(sub *graph.Digraph, cfg WebConfig) (matrix.Vector, int, error) {
+	switch sub.NumNodes() {
+	case 0:
+		return matrix.Vector{}, 0, nil
+	case 1:
+		return matrix.Vector{1}, 0, nil
+	}
+	res, err := pagerank.Graph(sub, pagerank.Config{
+		Damping: cfg.Damping,
+		Tol:     cfg.Tol,
+		MaxIter: cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Scores, res.Iterations, nil
+}
+
+// GlobalPageRank is the flat baseline of Figure 3: classical PageRank over
+// the whole DocGraph, ignoring site structure.
+func GlobalPageRank(dg *graph.DocGraph, cfg WebConfig) (pagerank.Result, error) {
+	return pagerank.Graph(dg.G, pagerank.Config{
+		Damping: cfg.Damping,
+		Tol:     cfg.Tol,
+		MaxIter: cfg.MaxIter,
+	})
+}

@@ -1,0 +1,156 @@
+package lmm
+
+import (
+	"fmt"
+	"strings"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// This file applies the multi-layer extension (§2.2, implemented
+// abstractly in hierarchy.go) at web scale: a three-layer
+// domain → site → document ranking. The recursive Partition argument
+// gives
+//
+//	DocRank(d) = DomainRank(dom) · SiteEntry(site | dom) · LocalRank(d)
+//
+// where SiteEntry is the gatekeeper entry distribution over a domain's
+// sites: the PageRank of the domain-internal SiteGraph.
+
+// DefaultDomainOf maps a site host to its registrable domain: the last
+// two dot-separated labels ("dept003.campus2.example" → "campus2.example").
+// Hosts with fewer labels map to themselves.
+func DefaultDomainOf(siteName string) string {
+	labels := strings.Split(siteName, ".")
+	if len(labels) <= 2 {
+		return siteName
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// Web3Result is the outcome of the three-layer pipeline.
+type Web3Result struct {
+	// DocRank is the final composed ranking per DocID.
+	DocRank matrix.Vector
+	// Domains lists the distinct domain names in first-seen order.
+	Domains []string
+	// DomainRank holds the top-layer distribution per domain index.
+	DomainRank matrix.Vector
+	// DomainOfSite maps each SiteID to its domain index.
+	DomainOfSite []int
+	// SiteEntry holds each site's entry probability within its domain
+	// (summing to 1 per domain).
+	SiteEntry matrix.Vector
+	// LocalRanks holds each site's local DocRank, as in WebResult.
+	LocalRanks []matrix.Vector
+}
+
+// LayeredDocRank3 ranks documents with the three-layer model. domainOf
+// groups sites into domains (nil = DefaultDomainOf). With a single domain
+// the result reduces exactly to LayeredDocRank.
+func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, cfg WebConfig) (*Web3Result, error) {
+	if err := dg.Validate(); err != nil {
+		return nil, fmt.Errorf("lmm: layered3: %w", err)
+	}
+	if dg.NumDocs() == 0 {
+		return nil, fmt.Errorf("lmm: layered3: empty graph")
+	}
+	if domainOf == nil {
+		domainOf = DefaultDomainOf
+	}
+
+	// Group sites into domains.
+	ns := dg.NumSites()
+	domainIdx := make(map[string]int)
+	var domains []string
+	domainOfSite := make([]int, ns)
+	sitesOfDomain := make(map[int][]graph.SiteID)
+	for s := 0; s < ns; s++ {
+		name := domainOf(dg.Sites[s].Name)
+		di, ok := domainIdx[name]
+		if !ok {
+			di = len(domains)
+			domainIdx[name] = di
+			domains = append(domains, name)
+		}
+		domainOfSite[s] = di
+		sitesOfDomain[di] = append(sitesOfDomain[di], graph.SiteID(s))
+	}
+	nd := len(domains)
+
+	// Site-level aggregation once; both upper layers derive from it.
+	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
+
+	// Top layer: domain graph aggregated from site edges.
+	domainGraph := graph.NewDigraph(nd)
+	sg.G.EachEdgeAll(func(from int, e graph.Edge) {
+		domainGraph.AddEdge(domainOfSite[from], domainOfSite[e.To], e.Weight)
+	})
+	domainGraph.Dedupe()
+	domRes, err := pagerank.Graph(domainGraph, pagerank.Config{
+		Damping: cfg.Damping,
+		Tol:     cfg.Tol,
+		MaxIter: cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lmm: layered3: domain layer: %w", err)
+	}
+
+	// Middle layer: per-domain internal site graphs → entry distributions.
+	siteEntry := matrix.NewVector(ns)
+	for di, sites := range sitesOfDomain {
+		if len(sites) == 1 {
+			siteEntry[sites[0]] = 1
+			continue
+		}
+		local := make(map[graph.SiteID]int, len(sites))
+		for i, s := range sites {
+			local[s] = i
+		}
+		sub := graph.NewDigraph(len(sites))
+		for i, s := range sites {
+			sg.G.EachEdge(int(s), func(e graph.Edge) {
+				if j, ok := local[graph.SiteID(e.To)]; ok {
+					sub.AddEdge(i, j, e.Weight)
+				}
+			})
+		}
+		sub.Dedupe()
+		res, err := pagerank.Graph(sub, pagerank.Config{
+			Damping: cfg.Damping,
+			Tol:     cfg.Tol,
+			MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lmm: layered3: domain %q site layer: %w", domains[di], err)
+		}
+		for i, s := range sites {
+			siteEntry[s] = res.Scores[i]
+		}
+	}
+
+	// Bottom layer: local DocRanks, shared with the two-layer pipeline.
+	local, _, err := localDocRanks(dg, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("lmm: layered3: %w", err)
+	}
+
+	// Compose the three layers.
+	out := &Web3Result{
+		DocRank:      matrix.NewVector(dg.NumDocs()),
+		Domains:      domains,
+		DomainRank:   domRes.Scores,
+		DomainOfSite: domainOfSite,
+		SiteEntry:    siteEntry,
+		LocalRanks:   local,
+	}
+	for s := range dg.Sites {
+		w := domRes.Scores[domainOfSite[s]] * siteEntry[s]
+		for i, d := range dg.Sites[s].Docs {
+			out.DocRank[d] = w * local[s][i]
+		}
+	}
+	return out, nil
+}

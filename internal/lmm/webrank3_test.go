@@ -1,0 +1,185 @@
+package lmm
+
+import (
+	"math"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/rankutil"
+	"lmmrank/internal/webgen"
+)
+
+func multiCampusWeb(t *testing.T, campuses int) *webgen.Web {
+	t.Helper()
+	cfg := webgen.Config{
+		Seed:                31,
+		Sites:               12,
+		MeanSitePages:       10,
+		AuthorityPages:      3,
+		IntraLinksPerPage:   2,
+		InterLinkFraction:   0.25,
+		DynamicClusterPages: 60,
+		DocClusterPages:     60,
+		Campuses:            campuses,
+	}
+	return webgen.Generate(cfg)
+}
+
+func TestDefaultDomainOf(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"dept003.campus2.example", "campus2.example"},
+		{"www.campus.example", "campus.example"},
+		{"campus.example", "campus.example"},
+		{"localhost", "localhost"},
+	}
+	for _, tt := range tests {
+		if got := DefaultDomainOf(tt.in); got != tt.want {
+			t.Errorf("DefaultDomainOf(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLayered3SingleDomainReducesToTwoLayer(t *testing.T) {
+	// All sites in one domain: the domain layer is trivial and the
+	// three-layer ranking must equal the two-layer one exactly.
+	web := multiCampusWeb(t, 1)
+	cfg := WebConfig{Tol: 1e-11}
+	two, err := LayeredDocRank(web.Graph, cfg)
+	if err != nil {
+		t.Fatalf("two-layer: %v", err)
+	}
+	three, err := LayeredDocRank3(web.Graph, nil, cfg)
+	if err != nil {
+		t.Fatalf("three-layer: %v", err)
+	}
+	if len(three.Domains) != 1 {
+		t.Fatalf("domains = %v, want 1", three.Domains)
+	}
+	if d := three.DocRank.L1Diff(two.DocRank); d > 1e-9 {
+		t.Errorf("single-domain three-layer deviates from two-layer: %g", d)
+	}
+}
+
+func TestLayered3MultiCampus(t *testing.T) {
+	web := multiCampusWeb(t, 3)
+	cfg := WebConfig{Tol: 1e-10}
+	res, err := LayeredDocRank3(web.Graph, nil, cfg)
+	if err != nil {
+		t.Fatalf("three-layer: %v", err)
+	}
+	if len(res.Domains) != 3 {
+		t.Fatalf("domains = %v, want 3 campuses", res.Domains)
+	}
+	if !res.DocRank.IsDistribution(1e-7) {
+		t.Errorf("DocRank sums to %g", res.DocRank.Sum())
+	}
+	if !res.DomainRank.IsDistribution(1e-7) {
+		t.Errorf("DomainRank sums to %g", res.DomainRank.Sum())
+	}
+	// Site entries sum to 1 within each domain.
+	perDomain := make([]float64, len(res.Domains))
+	for s, di := range res.DomainOfSite {
+		perDomain[di] += res.SiteEntry[s]
+	}
+	for di, sum := range perDomain {
+		if math.Abs(sum-1) > 1e-7 {
+			t.Errorf("domain %q site entries sum to %g", res.Domains[di], sum)
+		}
+	}
+	// Composition identity.
+	for s := range web.Graph.Sites {
+		w := res.DomainRank[res.DomainOfSite[s]] * res.SiteEntry[s]
+		for i, d := range web.Graph.Sites[s].Docs {
+			if math.Abs(res.DocRank[d]-w*res.LocalRanks[s][i]) > 1e-12 {
+				t.Fatalf("composition broken at doc %d", d)
+			}
+		}
+	}
+}
+
+func TestLayered3SpamResistance(t *testing.T) {
+	// The extra layer must not reintroduce agglomerate contamination.
+	web := multiCampusWeb(t, 2)
+	res, err := LayeredDocRank3(web.Graph, nil, WebConfig{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("three-layer: %v", err)
+	}
+	if c := rankutil.ContaminationAtK(res.DocRank, web.SpamFlags(), 15); c > 0.1 {
+		t.Errorf("contamination@15 = %g", c)
+	}
+}
+
+func TestLayered3AgreesWithTwoLayerBroadly(t *testing.T) {
+	// The domain layer reweighs sites but should preserve the broad
+	// ordering on a multi-campus web.
+	web := multiCampusWeb(t, 2)
+	cfg := WebConfig{Tol: 1e-9}
+	two, err := LayeredDocRank(web.Graph, cfg)
+	if err != nil {
+		t.Fatalf("two-layer: %v", err)
+	}
+	three, err := LayeredDocRank3(web.Graph, nil, cfg)
+	if err != nil {
+		t.Fatalf("three-layer: %v", err)
+	}
+	tau := rankutil.KendallTau(two.DocRank, three.DocRank)
+	if tau < 0.5 {
+		t.Errorf("τ(two, three) = %.3f, want broadly consistent", tau)
+	}
+	if two.DocRank.L1Diff(three.DocRank) < 1e-12 {
+		t.Error("three-layer identical to two-layer on a multi-domain web — domain layer inert?")
+	}
+}
+
+func TestLayered3CustomDomainFunction(t *testing.T) {
+	web := multiCampusWeb(t, 1)
+	// Group every site into its own domain: the domain layer then IS the
+	// site layer, and entries are all 1.
+	res, err := LayeredDocRank3(web.Graph, func(name string) string { return name }, WebConfig{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("three-layer: %v", err)
+	}
+	if len(res.Domains) != web.Graph.NumSites() {
+		t.Fatalf("domains = %d, want one per site", len(res.Domains))
+	}
+	for s, e := range res.SiteEntry {
+		if math.Abs(e-1) > 1e-12 {
+			t.Errorf("site %d entry = %g, want 1", s, e)
+		}
+	}
+	// Equals the two-layer ranking: DomainRank over singleton domains is
+	// exactly the SiteRank.
+	two, err := LayeredDocRank(web.Graph, WebConfig{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("two-layer: %v", err)
+	}
+	if d := res.DocRank.L1Diff(two.DocRank); d > 1e-8 {
+		t.Errorf("singleton-domain three-layer deviates: %g", d)
+	}
+}
+
+func TestLayered3EmptyGraph(t *testing.T) {
+	dg := &graph.DocGraph{G: graph.NewDigraph(0)}
+	if _, err := LayeredDocRank3(dg, nil, WebConfig{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestMultiCampusGeneratorStructure(t *testing.T) {
+	web := multiCampusWeb(t, 3)
+	domains := make(map[string]int)
+	for _, site := range web.Graph.Sites {
+		domains[DefaultDomainOf(site.Name)]++
+	}
+	if len(domains) != 3 {
+		t.Fatalf("domains = %v, want 3", domains)
+	}
+	// Agglomerate hosts only on the first campus.
+	if domains["campus.example"] != 12+2 {
+		t.Errorf("campus.example has %d sites, want 14 (12 + 2 agglomerate hosts)",
+			domains["campus.example"])
+	}
+	if domains["campus2.example"] != 12 {
+		t.Errorf("campus2.example has %d sites, want 12", domains["campus2.example"])
+	}
+}

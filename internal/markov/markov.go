@@ -1,0 +1,169 @@
+// Package markov implements the Markov-chain constructions the paper
+// builds on: the maximal-irreducibility adjustment used by PageRank
+// (eq. 1), the minimal-irreducibility gatekeeper construction of §2.3.2,
+// and stationary-distribution computation for both.
+//
+// Terminology follows the paper: a chain is given by a row-stochastic
+// transition matrix; "maximal irreducibility" mixes the whole matrix with
+// a rank-one teleport term, while "minimal irreducibility" appends a single
+// virtual gatekeeper state connected to and from every other state.
+package markov
+
+import (
+	"errors"
+	"fmt"
+
+	"lmmrank/internal/matrix"
+)
+
+// ErrNotStochastic is returned (wrapped) when an input matrix is not
+// row-stochastic within tolerance.
+var ErrNotStochastic = errors.New("markov: matrix is not row-stochastic")
+
+// StochasticTol is the tolerance used when validating that matrices are
+// row-stochastic.
+const StochasticTol = 1e-9
+
+// Validate returns an error if m is not a row-stochastic matrix.
+func Validate(m *matrix.Dense) error {
+	if m.Rows() != m.Cols() {
+		return fmt.Errorf("%w: non-square %dx%d", ErrNotStochastic, m.Rows(), m.Cols())
+	}
+	if !m.IsRowStochastic(StochasticTol) {
+		return fmt.Errorf("%w: a row is negative or does not sum to 1", ErrNotStochastic)
+	}
+	return nil
+}
+
+// MaximalIrreducible builds the PageRank-adjusted matrix of eq. (1):
+//
+//	Mˆ = f·M + (1−f)·e·v'
+//
+// where v is the personalization distribution (uniform when nil). Rows of M
+// that are entirely zero (dangling states) are first replaced by v, the
+// standard random-jump convention the paper describes ("jumping to a random
+// page if no such link exists"). The result is strictly positive wherever v
+// is positive, hence primitive for positive v.
+//
+// It panics if f is outside (0, 1) or v has the wrong length; these are
+// programmer errors.
+func MaximalIrreducible(m *matrix.Dense, f float64, v matrix.Vector) *matrix.Dense {
+	n := m.Order()
+	if f <= 0 || f >= 1 {
+		panic(fmt.Sprintf("markov: damping factor %g outside (0,1)", f))
+	}
+	if v == nil {
+		v = matrix.Uniform(n)
+	}
+	if len(v) != n {
+		panic(fmt.Sprintf("markov: personalization length %d vs order %d", len(v), n))
+	}
+
+	out := m.Clone()
+	for _, i := range out.ZeroRows() {
+		out.SetRow(i, v)
+	}
+	e := matrix.NewVector(n).Fill(1)
+	return out.Scale(f).AddRankOne(1-f, e, v)
+}
+
+// MinimalIrreducible builds the (n+1)×(n+1) gatekeeper-augmented matrix of
+// §2.3.2:
+//
+//	Uˆ = | α·U        (1−α)·e |
+//	     | v'              0  |
+//
+// The appended state (index n) is the gatekeeper: every original state
+// moves to it with probability 1−α, and it re-enters the chain according to
+// the initial-state distribution v (uniform when nil). Zero rows of U are
+// first replaced by v scaled into the α block, mirroring the dangling
+// convention of MaximalIrreducible so the two constructions stay
+// equivalent. The result is Markovian, irreducible and primitive (as the
+// paper notes) whenever v is positive.
+func MinimalIrreducible(u *matrix.Dense, alpha float64, v matrix.Vector) *matrix.Dense {
+	n := u.Order()
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("markov: alpha %g outside (0,1)", alpha))
+	}
+	if v == nil {
+		v = matrix.Uniform(n)
+	}
+	if len(v) != n {
+		panic(fmt.Sprintf("markov: initial distribution length %d vs order %d", len(v), n))
+	}
+
+	out := matrix.NewDense(n+1, n+1)
+	for i := 0; i < n; i++ {
+		row := u.Row(i)
+		var sum float64
+		for _, x := range row {
+			sum += x
+		}
+		dst := out.Row(i)
+		if sum == 0 {
+			// Dangling: distribute the α mass by v.
+			for j := 0; j < n; j++ {
+				dst[j] = alpha * v[j]
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				dst[j] = alpha * row[j]
+			}
+		}
+		dst[n] = 1 - alpha
+	}
+	gk := out.Row(n)
+	for j := 0; j < n; j++ {
+		gk[j] = v[j]
+	}
+	gk[n] = 0
+	return out
+}
+
+// GatekeeperStationary computes the stationary distribution over the
+// non-gatekeeper states of the minimal-irreducibility chain: the power
+// method is applied to Uˆ, the gatekeeper element is dropped and the rest
+// renormalized (§2.3.2). The resulting vector supplies the gatekeeper
+// transition probabilities u^J_Gj of eq. (3) — by the Langville–Meyer
+// equivalence it equals the PageRank of U with damping α and
+// personalization v.
+func GatekeeperStationary(u *matrix.Dense, alpha float64, v matrix.Vector, opts matrix.PowerOptions) (matrix.Vector, error) {
+	uhat := MinimalIrreducible(u, alpha, v)
+	res, err := matrix.PowerLeft(uhat, opts)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper chain: %w", err)
+	}
+	n := u.Order()
+	out := res.Vector[:n].Clone()
+	return out.Normalize(), nil
+}
+
+// Stationary computes the stationary distribution of a row-stochastic
+// operator by the power method. It is a thin wrapper that surfaces only the
+// vector; use matrix.PowerLeft directly when iteration counts matter.
+func Stationary(m matrix.LeftMultiplier, opts matrix.PowerOptions) (matrix.Vector, error) {
+	res, err := matrix.PowerLeft(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Vector, nil
+}
+
+// StationaryDense computes the stationary distribution of a small dense
+// chain, preferring the exact linear solve and falling back to the power
+// method when the solve is numerically singular (e.g. near-reducible
+// chains where the power method still converges from the uniform start).
+func StationaryDense(m *matrix.Dense, opts matrix.PowerOptions) (matrix.Vector, error) {
+	if err := Validate(m); err != nil {
+		return nil, err
+	}
+	pi, err := matrix.StationaryExact(m)
+	if err == nil {
+		return pi, nil
+	}
+	res, perr := matrix.PowerLeft(m, opts)
+	if perr != nil {
+		return nil, fmt.Errorf("exact solve failed (%v); power method: %w", err, perr)
+	}
+	return res.Vector, nil
+}

@@ -1,0 +1,270 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lmmrank/internal/matrix"
+)
+
+// paperY is the phase transition matrix of the paper's §2.3 example.
+func paperY() *matrix.Dense {
+	return matrix.FromRows([][]float64{
+		{0.1, 0.3, 0.6},
+		{0.2, 0.4, 0.4},
+		{0.3, 0.5, 0.2},
+	})
+}
+
+// paperU2 is the 3-sub-state phase II matrix of the paper's example, with
+// published local PageRank π2G = (0.1191, 0.2691, 0.6117).
+func paperU2() *matrix.Dense {
+	return matrix.FromRows([][]float64{
+		{0.2, 0.1, 0.7},
+		{0.1, 0.8, 0.1},
+		{0.05, 0.05, 0.9},
+	})
+}
+
+func randomStochastic(rng *rand.Rand, n int) *matrix.Dense {
+	m := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+		}
+	}
+	return m.NormalizeRows()
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(paperY()); err != nil {
+		t.Errorf("paper Y rejected: %v", err)
+	}
+	bad := matrix.FromRows([][]float64{{0.5, 0.6}, {1, 0}})
+	if err := Validate(bad); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("err = %v, want ErrNotStochastic", err)
+	}
+	rect := matrix.NewDense(2, 3)
+	if err := Validate(rect); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("err = %v, want ErrNotStochastic for non-square", err)
+	}
+}
+
+func TestMaximalIrreducibleStochasticAndPositive(t *testing.T) {
+	mhat := MaximalIrreducible(paperY(), 0.85, nil)
+	if !mhat.IsRowStochastic(1e-12) {
+		t.Error("Mˆ not stochastic")
+	}
+	if !mhat.IsPositive() {
+		t.Error("Mˆ not strictly positive with uniform v")
+	}
+	if !matrix.IsPrimitive(mhat) {
+		t.Error("Mˆ not primitive")
+	}
+}
+
+func TestMaximalIrreducibleValues(t *testing.T) {
+	// For a 2-state chain: entry = f·m + (1−f)/2.
+	m := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	mhat := MaximalIrreducible(m, 0.85, nil)
+	if math.Abs(mhat.At(0, 0)-0.075) > 1e-12 {
+		t.Errorf("Mˆ(0,0) = %g, want 0.075", mhat.At(0, 0))
+	}
+	if math.Abs(mhat.At(0, 1)-0.925) > 1e-12 {
+		t.Errorf("Mˆ(0,1) = %g, want 0.925", mhat.At(0, 1))
+	}
+}
+
+func TestMaximalIrreducibleDanglingRow(t *testing.T) {
+	// State 1 has no out-links; it must behave as a uniform random jump.
+	m := matrix.FromRows([][]float64{{0, 1}, {0, 0}})
+	mhat := MaximalIrreducible(m, 0.85, nil)
+	if !mhat.IsRowStochastic(1e-12) {
+		t.Fatal("dangling-adjusted matrix not stochastic")
+	}
+	// Row 1 = 0.85·(0.5,0.5) + 0.15·(0.5,0.5) = (0.5,0.5).
+	if math.Abs(mhat.At(1, 0)-0.5) > 1e-12 {
+		t.Errorf("dangling row = %v, want uniform", mhat.Row(1))
+	}
+}
+
+func TestMaximalIrreducibleDoesNotMutateInput(t *testing.T) {
+	m := matrix.FromRows([][]float64{{0, 1}, {0, 0}})
+	MaximalIrreducible(m, 0.85, nil)
+	if m.At(1, 0) != 0 || m.At(0, 1) != 1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMaximalIrreduciblePersonalized(t *testing.T) {
+	v := matrix.Vector{0.9, 0.1}
+	m := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	mhat := MaximalIrreducible(m, 0.85, v)
+	// Mˆ(0,0) = 0.85·0 + 0.15·0.9 = 0.135.
+	if math.Abs(mhat.At(0, 0)-0.135) > 1e-12 {
+		t.Errorf("personalized Mˆ(0,0) = %g, want 0.135", mhat.At(0, 0))
+	}
+}
+
+func TestMaximalIrreduciblePanicsOnBadDamping(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("f = 1 did not panic")
+		}
+	}()
+	MaximalIrreducible(paperY(), 1, nil)
+}
+
+func TestMinimalIrreducibleShape(t *testing.T) {
+	u := paperU2()
+	uhat := MinimalIrreducible(u, 0.85, nil)
+	if uhat.Rows() != 4 || uhat.Cols() != 4 {
+		t.Fatalf("Uˆ dims = %dx%d, want 4x4", uhat.Rows(), uhat.Cols())
+	}
+	if !uhat.IsRowStochastic(1e-12) {
+		t.Error("Uˆ not stochastic")
+	}
+	if !matrix.IsPrimitive(uhat) {
+		t.Error("Uˆ not primitive")
+	}
+	// Gatekeeper column: each original state reaches it with 1−α.
+	for i := 0; i < 3; i++ {
+		if math.Abs(uhat.At(i, 3)-0.15) > 1e-12 {
+			t.Errorf("Uˆ(%d,gk) = %g, want 0.15", i, uhat.At(i, 3))
+		}
+	}
+	// Gatekeeper row: initial distribution, self-transition zero.
+	if uhat.At(3, 3) != 0 {
+		t.Error("gatekeeper self-transition must be 0")
+	}
+	if math.Abs(uhat.At(3, 0)-1.0/3) > 1e-12 {
+		t.Errorf("gatekeeper row = %v, want uniform", uhat.Row(3))
+	}
+}
+
+func TestGatekeeperStationaryMatchesPaperU2(t *testing.T) {
+	// §2.3.2 publishes π2G = (0.1191, 0.2691, 0.6117) for U2 with α = 0.85.
+	pi, err := GatekeeperStationary(paperU2(), 0.85, nil, matrix.PowerOptions{})
+	if err != nil {
+		t.Fatalf("GatekeeperStationary: %v", err)
+	}
+	want := matrix.Vector{0.1191, 0.2691, 0.6117}
+	if pi.L1Diff(want) > 5e-4 {
+		t.Errorf("π2G = %v, want ≈ %v (paper)", pi, want)
+	}
+}
+
+// TestLangvilleMeyerEquivalence reproduces the equivalence the paper cites
+// ([11]): minimal irreducibility with parameter α gives exactly the
+// PageRank of the maximal-irreducibility chain with damping f = α.
+func TestLangvilleMeyerEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		u := randomStochastic(rng, n)
+		alpha := 0.5 + 0.4*rng.Float64()
+
+		minPi, err := GatekeeperStationary(u, alpha, nil, matrix.PowerOptions{})
+		if err != nil {
+			return false
+		}
+		maxPi, err := Stationary(MaximalIrreducible(u, alpha, nil), matrix.PowerOptions{})
+		if err != nil {
+			return false
+		}
+		return minPi.L1Diff(maxPi) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatekeeperStationaryDanglingRow(t *testing.T) {
+	u := matrix.FromRows([][]float64{{0, 1}, {0, 0}})
+	pi, err := GatekeeperStationary(u, 0.85, nil, matrix.PowerOptions{})
+	if err != nil {
+		t.Fatalf("GatekeeperStationary: %v", err)
+	}
+	if !pi.IsDistribution(1e-9) {
+		t.Errorf("π = %v is not a distribution", pi)
+	}
+	// Equivalence with the dangling-aware maximal construction.
+	maxPi, err := Stationary(MaximalIrreducible(u, 0.85, nil), matrix.PowerOptions{})
+	if err != nil {
+		t.Fatalf("Stationary: %v", err)
+	}
+	if pi.L1Diff(maxPi) > 1e-8 {
+		t.Errorf("dangling: minimal %v vs maximal %v", pi, maxPi)
+	}
+}
+
+func TestStationaryDenseExactAndFallback(t *testing.T) {
+	pi, err := StationaryDense(paperY(), matrix.PowerOptions{})
+	if err != nil {
+		t.Fatalf("StationaryDense: %v", err)
+	}
+	want := matrix.Vector{0.2154, 0.4154, 0.3692} // paper §2.3.3 π̃Y
+	if pi.L1Diff(want) > 5e-4 {
+		t.Errorf("π̃Y = %v, want ≈ %v", pi, want)
+	}
+
+	// Reducible chain: exact solve fails, power from uniform still
+	// converges (two absorbing states keep their symmetric mass).
+	red := matrix.FromRows([][]float64{{1, 0}, {0, 1}})
+	pi, err = StationaryDense(red, matrix.PowerOptions{})
+	if err != nil {
+		t.Fatalf("StationaryDense fallback: %v", err)
+	}
+	if pi.L1Diff(matrix.Vector{0.5, 0.5}) > 1e-9 {
+		t.Errorf("fallback π = %v", pi)
+	}
+}
+
+func TestStationaryDenseRejectsNonStochastic(t *testing.T) {
+	bad := matrix.FromRows([][]float64{{2, 0}, {0, 1}})
+	if _, err := StationaryDense(bad, matrix.PowerOptions{}); !errors.Is(err, ErrNotStochastic) {
+		t.Fatalf("err = %v, want ErrNotStochastic", err)
+	}
+}
+
+// Property: MinimalIrreducible output is always Markovian and primitive for
+// positive v, per the paper's §2.3.2 claim.
+func TestMinimalIrreduciblePropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		u := randomStochastic(rng, n)
+		alpha := 0.1 + 0.8*rng.Float64()
+		uhat := MinimalIrreducible(u, alpha, nil)
+		return uhat.IsRowStochastic(1e-9) && matrix.IsPrimitive(uhat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the gatekeeper stationary vector is a probability distribution
+// regardless of chain structure (including dangling and periodic rows).
+func TestGatekeeperStationaryDistributionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		u := matrix.NewDense(n, n)
+		// Sparse random pattern, possibly with dangling rows.
+		for i := 0; i < n; i++ {
+			for k := rng.Intn(3); k > 0; k-- {
+				u.Set(i, rng.Intn(n), rng.Float64())
+			}
+		}
+		u.NormalizeRows()
+		pi, err := GatekeeperStationary(u, 0.85, nil, matrix.PowerOptions{})
+		return err == nil && pi.IsDistribution(1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

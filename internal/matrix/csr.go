@@ -1,0 +1,230 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Triple is one (row, col, value) entry used to build a CSR matrix.
+type Triple struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a square sparse matrix in compressed-sparse-row form. It is the
+// workhorse representation for web-scale transition matrices, where each
+// row holds the out-link probabilities of one document.
+type CSR struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	val    []float64
+}
+
+var _ LeftMultiplier = (*CSR)(nil)
+
+// NewCSR builds an n×n CSR matrix from triples. Duplicate (row, col)
+// entries are summed. Triples need not be sorted. It panics on
+// out-of-range indices or non-positive n.
+func NewCSR(n int, triples []Triple) *CSR {
+	if n <= 0 {
+		panic(fmt.Sprintf("matrix: NewCSR with non-positive order %d", n))
+	}
+	for _, t := range triples {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
+			panic(fmt.Sprintf("matrix: NewCSR triple (%d,%d) out of order %d", t.Row, t.Col, n))
+		}
+	}
+
+	// Pass 1: count entries per row and build row pointers.
+	counts := make([]int, n+1)
+	for _, t := range triples {
+		counts[t.Row+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+
+	// Pass 2: scatter into place.
+	colIdx := make([]int, len(triples))
+	val := make([]float64, len(triples))
+	next := make([]int, n)
+	copy(next, counts[:n])
+	for _, t := range triples {
+		k := next[t.Row]
+		colIdx[k] = t.Col
+		val[k] = t.Val
+		next[t.Row]++
+	}
+
+	m := &CSR{n: n, rowPtr: counts, colIdx: colIdx, val: val}
+	m.sortAndDedupeRows()
+	return m
+}
+
+// sortAndDedupeRows sorts every row by column and merges duplicates by
+// summing their values, compacting storage in place.
+func (m *CSR) sortAndDedupeRows() {
+	w := 0 // write cursor into compacted storage
+	newPtr := make([]int, m.n+1)
+	for i := 0; i < m.n; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		row := rowEntries{cols: m.colIdx[lo:hi], vals: m.val[lo:hi]}
+		sort.Sort(row)
+		start := w
+		for k := 0; k < len(row.cols); k++ {
+			if w > start && m.colIdx[w-1] == row.cols[k] {
+				m.val[w-1] += row.vals[k]
+				continue
+			}
+			m.colIdx[w] = row.cols[k]
+			m.val[w] = row.vals[k]
+			w++
+		}
+		newPtr[i+1] = w
+	}
+	m.rowPtr = newPtr
+	m.colIdx = m.colIdx[:w]
+	m.val = m.val[:w]
+}
+
+// rowEntries sorts a row's (col, val) pairs by column.
+type rowEntries struct {
+	cols []int
+	vals []float64
+}
+
+func (r rowEntries) Len() int           { return len(r.cols) }
+func (r rowEntries) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r rowEntries) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// Order returns the dimension n.
+func (m *CSR) Order() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int {
+	return m.rowPtr[i+1] - m.rowPtr[i]
+}
+
+// Row calls fn(col, val) for each stored entry of row i in column order.
+func (m *CSR) Row(i int, fn func(col int, val float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.val[k])
+	}
+}
+
+// At returns element (i, j), zero when the entry is not stored.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("matrix: CSR index (%d,%d) out of %d", i, j, m.n))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k]
+	}
+	return 0
+}
+
+// MulVecLeft computes dst' = x'M.
+func (m *CSR) MulVecLeft(dst, x Vector) {
+	if len(x) != m.n || len(dst) != m.n {
+		panic(fmt.Sprintf("matrix: CSR MulVecLeft lengths %d,%d vs order %d", len(x), len(dst), m.n))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.n; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.colIdx[k]] += xi * m.val[k]
+		}
+	}
+}
+
+// RowSums returns the vector of row sums.
+func (m *CSR) RowSums() Vector {
+	sums := NewVector(m.n)
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k]
+		}
+		sums[i] = s
+	}
+	return sums
+}
+
+// NormalizeRows rescales each row to sum to 1 in place and returns m.
+// Zero rows (dangling states) are left untouched.
+func (m *CSR) NormalizeRows() *CSR {
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k]
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1.0 / s
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			m.val[k] *= inv
+		}
+	}
+	return m
+}
+
+// DanglingRows returns the indices of rows with zero sum (no out-links).
+func (m *CSR) DanglingRows() []int {
+	var out []int
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k]
+		}
+		if s == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsRowStochastic reports whether every row is nonnegative and sums to 1
+// within tol.
+func (m *CSR) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			v := m.val[k]
+			if v < -tol || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dense converts m to a dense matrix (for tests and small examples).
+func (m *CSR) Dense() *Dense {
+	out := NewDense(m.n, m.n)
+	for i := 0; i < m.n; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out.Set(i, m.colIdx[k], m.val[k])
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSRBasic(t *testing.T) {
+	m := NewCSR(3, []Triple{
+		{0, 1, 0.5}, {0, 2, 0.5},
+		{2, 0, 1},
+	})
+	if m.Order() != 3 {
+		t.Fatalf("Order = %d", m.Order())
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 0.5 || m.At(2, 0) != 1 || m.At(1, 1) != 0 {
+		t.Errorf("At wrong")
+	}
+	if m.RowNNZ(1) != 0 {
+		t.Errorf("RowNNZ(1) = %d, want 0", m.RowNNZ(1))
+	}
+}
+
+func TestNewCSRUnsortedAndDuplicates(t *testing.T) {
+	m := NewCSR(2, []Triple{
+		{1, 0, 2}, {0, 1, 1}, {1, 0, 3}, {0, 0, 4},
+	})
+	if m.At(1, 0) != 5 {
+		t.Errorf("duplicate sum: At(1,0) = %g, want 5", m.At(1, 0))
+	}
+	if m.At(0, 0) != 4 || m.At(0, 1) != 1 {
+		t.Errorf("row 0 wrong: %g %g", m.At(0, 0), m.At(0, 1))
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3 after dedupe", m.NNZ())
+	}
+}
+
+func TestNewCSRPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range triple did not panic")
+		}
+	}()
+	NewCSR(2, []Triple{{0, 2, 1}})
+}
+
+func TestCSRRowIteration(t *testing.T) {
+	m := NewCSR(3, []Triple{{1, 2, 0.25}, {1, 0, 0.75}})
+	var cols []int
+	var vals []float64
+	m.Row(1, func(c int, v float64) {
+		cols = append(cols, c)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Errorf("cols = %v, want [0 2] (column-sorted)", cols)
+	}
+	if vals[0] != 0.75 || vals[1] != 0.25 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestCSRMulVecLeftMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20
+	var triples []Triple
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			triples = append(triples, Triple{i, rng.Intn(n), rng.Float64()})
+		}
+	}
+	sp := NewCSR(n, triples)
+	dn := sp.Dense()
+	x := NewVector(n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	a, b := NewVector(n), NewVector(n)
+	sp.MulVecLeft(a, x)
+	dn.MulVecLeft(b, x)
+	if a.L1Diff(b) > 1e-12 {
+		t.Errorf("sparse vs dense mismatch: %g", a.L1Diff(b))
+	}
+}
+
+func TestCSRNormalizeAndDangling(t *testing.T) {
+	m := NewCSR(3, []Triple{{0, 1, 2}, {0, 2, 2}, {2, 0, 5}})
+	if d := m.DanglingRows(); len(d) != 1 || d[0] != 1 {
+		t.Errorf("DanglingRows = %v, want [1]", d)
+	}
+	m.NormalizeRows()
+	if m.At(0, 1) != 0.5 || m.At(2, 0) != 1 {
+		t.Errorf("normalize wrong: %v", m.Dense())
+	}
+	sums := m.RowSums()
+	if sums[1] != 0 || math.Abs(sums[0]-1) > 1e-12 {
+		t.Errorf("RowSums = %v", sums)
+	}
+}
+
+func TestCSRIsRowStochastic(t *testing.T) {
+	good := NewCSR(2, []Triple{{0, 0, 0.5}, {0, 1, 0.5}, {1, 0, 1}})
+	if !good.IsRowStochastic(1e-12) {
+		t.Error("good CSR rejected")
+	}
+	dangling := NewCSR(2, []Triple{{0, 0, 1}})
+	if dangling.IsRowStochastic(1e-12) {
+		t.Error("dangling row accepted as stochastic")
+	}
+}
+
+func TestCSREmptyMatrix(t *testing.T) {
+	m := NewCSR(4, nil)
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	x := Uniform(4)
+	dst := NewVector(4)
+	m.MulVecLeft(dst, x)
+	if dst.Sum() != 0 {
+		t.Errorf("zero matrix product = %v", dst)
+	}
+	if len(m.DanglingRows()) != 4 {
+		t.Errorf("all rows should dangle")
+	}
+}
+
+// Property: CSR construction agrees with a dense construction from the
+// same random triples, for all operations we rely on.
+func TestCSRAgreesWithDenseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		nTriples := rng.Intn(4 * n)
+		triples := make([]Triple, 0, nTriples)
+		dense := NewDense(n, n)
+		for k := 0; k < nTriples; k++ {
+			tr := Triple{rng.Intn(n), rng.Intn(n), rng.Float64()}
+			triples = append(triples, tr)
+			dense.Set(tr.Row, tr.Col, dense.At(tr.Row, tr.Col)+tr.Val)
+		}
+		sp := NewCSR(n, triples)
+		if !sp.Dense().Equal(dense, 1e-12) {
+			return false
+		}
+		x := NewVector(n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a, b := NewVector(n), NewVector(n)
+		sp.MulVecLeft(a, x)
+		dense.MulVecLeft(b, x)
+		return a.L1Diff(b) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

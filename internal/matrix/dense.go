@@ -1,0 +1,333 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LeftMultiplier is the operator abstraction used by the power method:
+// anything that can compute y' = x'M for a square operator M. Implemented
+// by *Dense, *CSR and the damped PageRank operators in package pagerank.
+type LeftMultiplier interface {
+	// Order returns the dimension n of the square operator.
+	Order() int
+	// MulVecLeft computes dst' = x'M. dst and x must both have length
+	// Order() and must not alias.
+	MulVecLeft(dst, x Vector)
+}
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+var _ LeftMultiplier = (*Dense)(nil)
+
+// NewDense returns a zeroed rows×cols matrix. It panics on non-positive
+// dimensions.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: NewDense with non-positive dims %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a Dense from row slices, copying the data. All rows must
+// have equal, positive length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: FromRows with empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("matrix: FromRows ragged row %d: %d vs %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Order returns the dimension of a square matrix; it panics if m is not
+// square.
+func (m *Dense) Order() int {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: Order of non-square %dx%d matrix", m.rows, m.cols))
+	}
+	return m.rows
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a mutable view into the matrix storage.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: Row %d out of %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// SetRow copies r into row i. It panics if len(r) != Cols().
+func (m *Dense) SetRow(i int, r []float64) {
+	if len(r) != m.cols {
+		panic(fmt.Sprintf("matrix: SetRow length %d vs %d cols", len(r), m.cols))
+	}
+	copy(m.Row(i), r)
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*out.cols+i] = v
+		}
+	}
+	return out
+}
+
+// MulVecLeft computes dst' = x'M. It panics on dimension mismatch.
+func (m *Dense) MulVecLeft(dst, x Vector) {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecLeft x length %d vs %d rows", len(x), m.rows))
+	}
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("matrix: MulVecLeft dst length %d vs %d cols", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// MulVecRight computes dst = M x (column-vector convention). It panics on
+// dimension mismatch.
+func (m *Dense) MulVecRight(dst, x Vector) {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("matrix: MulVecRight x length %d vs %d cols", len(x), m.cols))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecRight dst length %d vs %d rows", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Mul returns the matrix product m·b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul dims %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by c in place and returns m.
+func (m *Dense) Scale(c float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= c
+	}
+	return m
+}
+
+// Add adds b to m element-wise in place and returns m.
+func (m *Dense) Add(b *Dense) *Dense {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("matrix: Add dims %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	for i := range m.data {
+		m.data[i] += b.data[i]
+	}
+	return m
+}
+
+// AddRankOne adds c · col·row' to m in place, where col has length Rows()
+// and row has length Cols(). This is the building block of the maximal
+// irreducibility adjustment Mˆ = fM + (1−f)·e·v'.
+func (m *Dense) AddRankOne(c float64, col, row Vector) *Dense {
+	if len(col) != m.rows || len(row) != m.cols {
+		panic(fmt.Sprintf("matrix: AddRankOne dims %d,%d vs %dx%d", len(col), len(row), m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		ci := c * col[i]
+		if ci == 0 {
+			continue
+		}
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		for j, rv := range row {
+			mrow[j] += ci * rv
+		}
+	}
+	return m
+}
+
+// IsNonNegative reports whether every element is >= -tol and finite.
+func (m *Dense) IsNonNegative(tol float64) bool {
+	for _, v := range m.data {
+		if v < -tol || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRowStochastic reports whether m is square, nonnegative and every row
+// sums to 1 within tol.
+func (m *Dense) IsRowStochastic(tol float64) bool {
+	if m.rows != m.cols || !m.IsNonNegative(tol) {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeRows rescales each row to sum to 1 in place and returns m.
+// Rows summing to zero are left untouched (the caller decides how to treat
+// dangling states).
+func (m *Dense) NormalizeRows() *Dense {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1.0 / s
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return m
+}
+
+// ZeroRows returns the indices of rows whose elements are all zero
+// (dangling states in a transition matrix).
+func (m *Dense) ZeroRows() []int {
+	var out []int
+	for i := 0; i < m.rows; i++ {
+		zero := true
+		for _, v := range m.Row(i) {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and b have the same shape and all elements agree
+// within tol.
+func (m *Dense) Equal(b *Dense, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix with 4 decimal places, one row per line.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('[')
+		for j, v := range m.Row(i) {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("At wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("I[%d][%d] = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetRowAndRowView(t *testing.T) {
+	m := NewDense(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 {
+		t.Errorf("SetRow failed: %v", m)
+	}
+	// Row returns a live view.
+	m.Row(1)[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Error("Row is not a live view")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("transpose wrong:\n%v", tr)
+	}
+}
+
+func TestMulVecLeft(t *testing.T) {
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	x := Vector{0.3, 0.7}
+	dst := NewVector(2)
+	m.MulVecLeft(dst, x)
+	if math.Abs(dst[0]-0.7) > 1e-15 || math.Abs(dst[1]-0.3) > 1e-15 {
+		t.Errorf("x'M = %v, want [0.7 0.3]", dst)
+	}
+}
+
+func TestMulVecRight(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := NewVector(2)
+	m.MulVecRight(dst, Vector{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Errorf("Mx = %v, want [3 7]", dst)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	if !c.Equal(want, 0) {
+		t.Errorf("a·b =\n%v\nwant\n%v", c, want)
+	}
+}
+
+func TestAddRankOne(t *testing.T) {
+	// Mˆ = fM + (1−f)·e·v' — the PageRank maximal irreducibility form.
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	f := 0.85
+	v := Uniform(2)
+	e := NewVector(2).Fill(1)
+	got := m.Clone().Scale(f).AddRankOne(1-f, e, v)
+	if !got.IsRowStochastic(1e-12) {
+		t.Errorf("adjusted matrix not stochastic:\n%v", got)
+	}
+	if math.Abs(got.At(0, 0)-0.075) > 1e-12 || math.Abs(got.At(0, 1)-0.925) > 1e-12 {
+		t.Errorf("adjusted row 0 = %v", got.Row(0))
+	}
+}
+
+func TestIsRowStochastic(t *testing.T) {
+	good := FromRows([][]float64{{0.5, 0.5}, {1, 0}})
+	if !good.IsRowStochastic(1e-12) {
+		t.Error("good matrix rejected")
+	}
+	bad := FromRows([][]float64{{0.5, 0.6}, {1, 0}})
+	if bad.IsRowStochastic(1e-12) {
+		t.Error("bad row sum accepted")
+	}
+	neg := FromRows([][]float64{{1.5, -0.5}, {1, 0}})
+	if neg.IsRowStochastic(1e-12) {
+		t.Error("negative entry accepted")
+	}
+	rect := NewDense(2, 3)
+	if rect.IsRowStochastic(1e-12) {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestNormalizeRowsAndZeroRows(t *testing.T) {
+	m := FromRows([][]float64{{2, 2}, {0, 0}})
+	m.NormalizeRows()
+	if m.At(0, 0) != 0.5 {
+		t.Errorf("row 0 not normalized: %v", m.Row(0))
+	}
+	zr := m.ZeroRows()
+	if len(zr) != 1 || zr[0] != 1 {
+		t.Errorf("ZeroRows = %v, want [1]", zr)
+	}
+}
+
+func TestOrderPanicsOnRectangular(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Order on rectangular matrix did not panic")
+		}
+	}()
+	NewDense(2, 3).Order()
+}
+
+// randomStochastic builds a random dense row-stochastic matrix with
+// strictly positive entries (hence primitive).
+func randomStochastic(rng *rand.Rand, n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+		}
+	}
+	return m.NormalizeRows()
+}
+
+// Property: row-normalizing a random positive matrix yields a stochastic
+// matrix, and left-multiplying any distribution by it preserves total mass.
+func TestStochasticPreservesMassQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 2
+		m := randomStochastic(rng, n)
+		if !m.IsRowStochastic(1e-9) {
+			return false
+		}
+		x := NewVector(n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		x.Normalize()
+		dst := NewVector(n)
+		m.MulVecLeft(dst, x)
+		return math.Abs(dst.Sum()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (x'A)B == x'(AB) for random matrices.
+func TestMulAssociativityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		a := randomStochastic(rng, n)
+		b := randomStochastic(rng, n)
+		x := Uniform(n)
+		// Left: (x'A)B
+		t1 := NewVector(n)
+		a.MulVecLeft(t1, x)
+		left := NewVector(n)
+		b.MulVecLeft(left, t1)
+		// Right: x'(AB)
+		ab := a.Mul(b)
+		right := NewVector(n)
+		ab.MulVecLeft(right, x)
+		return left.L1Diff(right) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

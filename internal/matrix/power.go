@@ -1,0 +1,94 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotConverged is returned (wrapped) when the power method exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNotConverged = errors.New("matrix: power method did not converge")
+
+// Default iteration parameters. A damped web chain with f = 0.85 contracts
+// by f per step, so 1e-10 tolerance needs ~140 iterations; 1000 leaves a
+// wide margin for the undamped chains used by the Layered Method.
+const (
+	DefaultTol     = 1e-10
+	DefaultMaxIter = 1000
+)
+
+// PowerOptions configures PowerLeft.
+type PowerOptions struct {
+	// Tol is the L1 convergence threshold between successive iterates.
+	// Zero means DefaultTol.
+	Tol float64
+	// MaxIter bounds the number of iterations. Zero means DefaultMaxIter.
+	MaxIter int
+	// Start is the initial distribution; nil means uniform. It is not
+	// mutated.
+	Start Vector
+}
+
+// PowerResult reports the outcome of a power-method run.
+type PowerResult struct {
+	// Vector is the final iterate, a probability distribution when the
+	// operator is stochastic.
+	Vector Vector
+	// Iterations is the number of multiplications performed.
+	Iterations int
+	// Converged reports whether Residual <= Tol was reached.
+	Converged bool
+	// Residual is the final L1 difference between successive iterates.
+	Residual float64
+}
+
+// PowerLeft iterates x' ← x'M until the L1 change drops below tol,
+// returning the (approximate) stationary distribution of a row-stochastic
+// operator M. Each iterate is renormalized to guard against floating-point
+// drift. When the budget is exhausted the best iterate is still returned
+// along with an error wrapping ErrNotConverged.
+//
+// Convergence is guaranteed for primitive stochastic matrices
+// (Perron–Frobenius); for merely irreducible periodic chains the iteration
+// may oscillate and the caller should expect ErrNotConverged.
+func PowerLeft(m LeftMultiplier, opts PowerOptions) (PowerResult, error) {
+	n := m.Order()
+	tol := opts.Tol
+	if tol == 0 {
+		tol = DefaultTol
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = DefaultMaxIter
+	}
+
+	var x Vector
+	if opts.Start != nil {
+		if len(opts.Start) != n {
+			return PowerResult{}, fmt.Errorf("matrix: start vector length %d vs operator order %d", len(opts.Start), n)
+		}
+		x = opts.Start.Clone().Normalize()
+	} else {
+		x = Uniform(n)
+	}
+
+	next := NewVector(n)
+	res := PowerResult{}
+	for it := 1; it <= maxIter; it++ {
+		m.MulVecLeft(next, x)
+		next.Normalize()
+		res.Iterations = it
+		res.Residual = next.L1Diff(x)
+		x, next = next, x
+		if res.Residual <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Vector = x
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d iterations (residual %.3e, tol %.3e)",
+			ErrNotConverged, res.Iterations, res.Residual, tol)
+	}
+	return res, nil
+}

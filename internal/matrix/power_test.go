@@ -1,0 +1,153 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerLeftTwoState(t *testing.T) {
+	// Chain with known stationary distribution (2/3, 1/3):
+	// P = [[0.5 0.5],[1 0]]  ⇒  π = (2/3, 1/3).
+	m := FromRows([][]float64{{0.5, 0.5}, {1, 0}})
+	res, err := PowerLeft(m, PowerOptions{})
+	if err != nil {
+		t.Fatalf("PowerLeft: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	want := Vector{2.0 / 3, 1.0 / 3}
+	if res.Vector.L1Diff(want) > 1e-8 {
+		t.Errorf("π = %v, want %v", res.Vector, want)
+	}
+}
+
+func TestPowerLeftMatchesExactSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomStochastic(rng, 8)
+	res, err := PowerLeft(m, PowerOptions{})
+	if err != nil {
+		t.Fatalf("PowerLeft: %v", err)
+	}
+	exact, err := StationaryExact(m)
+	if err != nil {
+		t.Fatalf("StationaryExact: %v", err)
+	}
+	if res.Vector.L1Diff(exact) > 1e-8 {
+		t.Errorf("power %v vs exact %v", res.Vector, exact)
+	}
+}
+
+func TestPowerLeftPeriodicDoesNotConverge(t *testing.T) {
+	// Pure 2-cycle is periodic; power iteration started off-stationary
+	// oscillates forever.
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	_, err := PowerLeft(m, PowerOptions{MaxIter: 50, Start: Vector{0.9, 0.1}})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestPowerLeftStartVector(t *testing.T) {
+	m := FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	res, err := PowerLeft(m, PowerOptions{Start: Vector{1, 0}})
+	if err != nil {
+		t.Fatalf("PowerLeft: %v", err)
+	}
+	if res.Vector.L1Diff(Vector{0.5, 0.5}) > 1e-12 {
+		t.Errorf("π = %v", res.Vector)
+	}
+	if res.Iterations != 2 {
+		t.Errorf("Iterations = %d, want 2 (step 1 reaches uniform, step 2 detects the fixed point)", res.Iterations)
+	}
+}
+
+func TestPowerLeftStartLengthMismatch(t *testing.T) {
+	m := Identity(3)
+	if _, err := PowerLeft(m, PowerOptions{Start: Vector{1, 0}}); err == nil {
+		t.Fatal("expected error on start-vector length mismatch")
+	}
+}
+
+func TestPowerLeftStartNotMutated(t *testing.T) {
+	m := FromRows([][]float64{{0.5, 0.5}, {1, 0}})
+	start := Vector{3, 1} // deliberately unnormalized
+	if _, err := PowerLeft(m, PowerOptions{Start: start}); err != nil {
+		t.Fatalf("PowerLeft: %v", err)
+	}
+	if start[0] != 3 || start[1] != 1 {
+		t.Errorf("start vector mutated: %v", start)
+	}
+}
+
+func TestPowerLeftIdentityConvergesImmediately(t *testing.T) {
+	res, err := PowerLeft(Identity(5), PowerOptions{})
+	if err != nil {
+		t.Fatalf("PowerLeft: %v", err)
+	}
+	if res.Iterations != 1 || !res.Converged {
+		t.Errorf("iterations = %d, converged = %v", res.Iterations, res.Converged)
+	}
+}
+
+// Property: for random primitive stochastic matrices, the power method
+// converges to a distribution that is fixed under the chain.
+func TestPowerLeftFixedPointQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		m := randomStochastic(rng, n) // strictly positive ⇒ primitive
+		res, err := PowerLeft(m, PowerOptions{})
+		if err != nil || !res.Vector.IsDistribution(1e-8) {
+			return false
+		}
+		next := NewVector(n)
+		m.MulVecLeft(next, res.Vector)
+		return next.L1Diff(res.Vector) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the stationary distribution is independent of the start vector
+// for primitive chains.
+func TestPowerLeftStartIndependenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		m := randomStochastic(rng, n)
+		a, errA := PowerLeft(m, PowerOptions{})
+		start := NewVector(n)
+		for i := range start {
+			start[i] = rng.Float64() + 0.01
+		}
+		b, errB := PowerLeft(m, PowerOptions{Start: start})
+		if errA != nil || errB != nil {
+			return false
+		}
+		return a.Vector.L1Diff(b.Vector) < 1e-7
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLeftResidualReported(t *testing.T) {
+	m := FromRows([][]float64{{0.9, 0.1}, {0.1, 0.9}})
+	res, err := PowerLeft(m, PowerOptions{Tol: 1e-12, MaxIter: 500})
+	if err != nil {
+		t.Fatalf("PowerLeft: %v", err)
+	}
+	if res.Residual > 1e-12 {
+		t.Errorf("residual %g above tol", res.Residual)
+	}
+	if math.IsNaN(res.Residual) {
+		t.Error("NaN residual")
+	}
+}

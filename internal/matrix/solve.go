@@ -1,0 +1,116 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned (wrapped) when a linear system has no unique
+// solution, e.g. when asking for the exact stationary distribution of a
+// reducible chain.
+var ErrSingular = errors.New("matrix: singular system")
+
+// StationaryExact computes the stationary distribution π of a
+// row-stochastic matrix M by direct linear solve: π'M = π', Σπ = 1.
+// It is exact up to floating point (no iteration), intended for small
+// matrices such as the paper's phase matrix Y; cost is O(n³).
+//
+// For chains with multiple recurrent classes the system is singular and an
+// error wrapping ErrSingular is returned.
+func StationaryExact(m *Dense) (Vector, error) {
+	n := m.Order()
+	// Build A = (M' − I) with the last row replaced by the normalization
+	// constraint Σπ = 1, and solve A·π = b with b = (0,…,0,1)'.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, m.At(j, i))
+		}
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := NewVector(n)
+	b[n-1] = 1
+
+	pi, err := SolveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("stationary solve: %w", err)
+	}
+	// Clamp tiny negatives produced by rounding, then renormalize.
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-9 {
+				return nil, fmt.Errorf("stationary solve: negative mass %g at state %d: %w", v, i, ErrSingular)
+			}
+			pi[i] = 0
+		}
+	}
+	return pi.Normalize(), nil
+}
+
+// SolveLinear solves the dense linear system A·x = b by Gaussian
+// elimination with partial pivoting. A and b are not modified. It returns
+// an error wrapping ErrSingular when no unique solution exists.
+func SolveLinear(a *Dense, b Vector) (Vector, error) {
+	n := a.Order()
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: SolveLinear b length %d vs order %d", len(b), n))
+	}
+	// Augmented working copy.
+	w := a.Clone()
+	x := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("pivot %d is %.3e: %w", col, best, ErrSingular)
+		}
+		if pivot != col {
+			swapRows(w, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		// Eliminate below.
+		pv := w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			wr := w.Row(r)
+			wc := w.Row(col)
+			for j := col; j < n; j++ {
+				wr[j] -= f * wc[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+
+	// Back substitution.
+	out := NewVector(n)
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		row := w.Row(r)
+		for j := r + 1; j < n; j++ {
+			s -= row[j] * out[j]
+		}
+		out[r] = s / row[r]
+	}
+	return out, nil
+}
+
+func swapRows(m *Dense, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

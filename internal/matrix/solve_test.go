@@ -1,0 +1,157 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10  ⇒  x = 1, y = 3.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, Vector{5, 10})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if x.L1Diff(Vector{1, 3}) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, Vector{2, 3})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if x.L1Diff(Vector{3, 2}) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, Vector{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	b := Vector{2, 3}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if a.At(0, 0) != 0 || a.At(0, 1) != 1 || b[0] != 2 {
+		t.Error("SolveLinear mutated its inputs")
+	}
+}
+
+func TestStationaryExactTwoState(t *testing.T) {
+	m := FromRows([][]float64{{0.5, 0.5}, {1, 0}})
+	pi, err := StationaryExact(m)
+	if err != nil {
+		t.Fatalf("StationaryExact: %v", err)
+	}
+	if pi.L1Diff(Vector{2.0 / 3, 1.0 / 3}) > 1e-12 {
+		t.Errorf("π = %v", pi)
+	}
+}
+
+func TestStationaryExactPaperPhaseMatrix(t *testing.T) {
+	// The paper's Y (§2.3) with published π̃Y = (0.2154, 0.4154, 0.3692).
+	y := FromRows([][]float64{
+		{0.1, 0.3, 0.6},
+		{0.2, 0.4, 0.4},
+		{0.3, 0.5, 0.2},
+	})
+	pi, err := StationaryExact(y)
+	if err != nil {
+		t.Fatalf("StationaryExact: %v", err)
+	}
+	want := Vector{0.2154, 0.4154, 0.3692}
+	if pi.L1Diff(want) > 5e-4 {
+		t.Errorf("π̃Y = %v, want ≈ %v (paper)", pi, want)
+	}
+}
+
+func TestStationaryExactReducible(t *testing.T) {
+	// Two disconnected recurrent classes: stationary distribution is not
+	// unique, so the solve must fail.
+	m := FromRows([][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	})
+	if _, err := StationaryExact(m); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestStationaryExactPeriodicChain(t *testing.T) {
+	// Periodic but irreducible: stationary distribution exists and is
+	// unique even though the power method would not converge.
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	pi, err := StationaryExact(m)
+	if err != nil {
+		t.Fatalf("StationaryExact: %v", err)
+	}
+	if pi.L1Diff(Vector{0.5, 0.5}) > 1e-12 {
+		t.Errorf("π = %v, want uniform", pi)
+	}
+}
+
+// Property: StationaryExact returns a fixed point of random primitive
+// chains and agrees with the power method.
+func TestStationaryExactQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		m := randomStochastic(rng, n)
+		exact, err := StationaryExact(m)
+		if err != nil || !exact.IsDistribution(1e-9) {
+			return false
+		}
+		next := NewVector(n)
+		m.MulVecLeft(next, exact)
+		return next.L1Diff(exact) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SolveLinear solves random well-conditioned systems: A·x = b
+// round-trips.
+func TestSolveLinearQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		want := NewVector(n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := NewVector(n)
+		a.Transpose().MulVecLeft(b, want) // b = A·want
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		return got.L1Diff(want) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

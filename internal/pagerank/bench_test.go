@@ -1,0 +1,93 @@
+package pagerank
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+)
+
+func benchGraph(n, degree int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewDigraph(n)
+	for i := 0; i < n; i++ {
+		if i%17 == 3 {
+			continue // leave dangling nodes, as real webs have
+		}
+		for k := 0; k < degree; k++ {
+			g.AddLink(i, rng.Intn(n))
+		}
+	}
+	return g
+}
+
+func BenchmarkSparsePageRank(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := benchGraph(n, 8, 1).TransitionMatrix()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sparse(m, Config{Tol: 1e-9}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDensePageRank(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			m := matrix.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					m.Set(i, j, rng.Float64())
+				}
+			}
+			m.NormalizeRows()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Dense(m, Config{Tol: 1e-9}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPersonalizedVsUniform(b *testing.B) {
+	n := 10000
+	m := benchGraph(n, 8, 3).TransitionMatrix()
+	pers := matrix.Uniform(n)
+	pers[0] = 0.5
+	pers.Normalize()
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Sparse(m, Config{Tol: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("personalized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Sparse(m, Config{Tol: 1e-9, Personalization: pers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMinimalIrreducibility(b *testing.B) {
+	u := paperU3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimal(u, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

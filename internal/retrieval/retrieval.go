@@ -1,0 +1,218 @@
+// Package retrieval implements the paper's stated future work (§4):
+// "work of combining query-based ranking and link-based ranking will also
+// be carried out." It provides the classical text-retrieval substrate the
+// paper's introduction assumes P2P engines decompose — a TF-IDF vector
+// space model with cosine scoring — and a SearchEngine that blends VSM
+// query scores with any link-based DocRank (flat PageRank or the layered
+// method) by linear interpolation, the standard fusion search engines of
+// the era used.
+package retrieval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lmmrank/internal/graph"
+)
+
+// ErrNotFinalized is returned when querying an index before Finalize.
+var ErrNotFinalized = errors.New("retrieval: index not finalized")
+
+// Index is an in-memory TF-IDF inverted index over document term
+// vectors.
+type Index struct {
+	numDocs   int
+	postings  map[string][]posting
+	docNorm   map[graph.DocID]float64
+	idf       map[string]float64
+	finalized bool
+}
+
+// posting is one document's raw term frequency for a term.
+type posting struct {
+	doc graph.DocID
+	tf  float64
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		docNorm:  make(map[graph.DocID]float64),
+		idf:      make(map[string]float64),
+	}
+}
+
+// Add indexes a document's terms (duplicates increase term frequency).
+// Terms are lower-cased. Adding after Finalize panics: the index is
+// build-then-query.
+func (ix *Index) Add(d graph.DocID, terms []string) {
+	if ix.finalized {
+		panic("retrieval: Add after Finalize")
+	}
+	if len(terms) == 0 {
+		return
+	}
+	counts := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t != "" {
+			counts[t]++
+		}
+	}
+	for t, c := range counts {
+		ix.postings[t] = append(ix.postings[t], posting{doc: d, tf: c})
+	}
+	ix.numDocs++
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.postings) }
+
+// Finalize computes IDF weights and document norms; the index becomes
+// queryable and immutable.
+func (ix *Index) Finalize() {
+	if ix.finalized {
+		return
+	}
+	n := float64(ix.numDocs)
+	for t, plist := range ix.postings {
+		// Smoothed IDF, always positive.
+		ix.idf[t] = math.Log(1 + n/float64(len(plist)))
+	}
+	for t, plist := range ix.postings {
+		idf := ix.idf[t]
+		for _, p := range plist {
+			w := tfWeight(p.tf) * idf
+			ix.docNorm[p.doc] += w * w
+		}
+	}
+	for d, s := range ix.docNorm {
+		ix.docNorm[d] = math.Sqrt(s)
+	}
+	ix.finalized = true
+}
+
+// tfWeight is the sublinear TF scaling 1 + log(tf).
+func tfWeight(tf float64) float64 {
+	if tf <= 0 {
+		return 0
+	}
+	return 1 + math.Log(tf)
+}
+
+// Query scores all matching documents by cosine similarity between the
+// TF-IDF query vector and each document vector. Unmatched documents are
+// absent from the result.
+func (ix *Index) Query(terms []string) (map[graph.DocID]float64, error) {
+	if !ix.finalized {
+		return nil, ErrNotFinalized
+	}
+	qCounts := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t != "" {
+			qCounts[t]++
+		}
+	}
+	var qNorm float64
+	dot := make(map[graph.DocID]float64)
+	for t, c := range qCounts {
+		idf, ok := ix.idf[t]
+		if !ok {
+			continue
+		}
+		qw := tfWeight(c) * idf
+		qNorm += qw * qw
+		for _, p := range ix.postings[t] {
+			dot[p.doc] += qw * tfWeight(p.tf) * idf
+		}
+	}
+	if qNorm == 0 || len(dot) == 0 {
+		return map[graph.DocID]float64{}, nil
+	}
+	qn := math.Sqrt(qNorm)
+	for d := range dot {
+		dot[d] /= qn * ix.docNorm[d]
+	}
+	return dot, nil
+}
+
+// Result is one search hit with its score decomposition.
+type Result struct {
+	Doc graph.DocID
+	// Query is the normalized cosine score, Link the normalized DocRank,
+	// Combined the blended score used for ordering.
+	Query, Link, Combined float64
+}
+
+// SearchEngine blends VSM query scores with a link-based DocRank.
+type SearchEngine struct {
+	index *Index
+	// docRank holds the link scores per DocID (any method).
+	docRank []float64
+	maxRank float64
+	// lambda weighs the query component; 1 = pure text, 0 = pure link
+	// order among matching documents.
+	lambda float64
+}
+
+// NewSearchEngine builds an engine from a finalized index, a DocRank
+// vector and the fusion weight λ ∈ [0, 1].
+func NewSearchEngine(ix *Index, docRank []float64, lambda float64) (*SearchEngine, error) {
+	if !ix.finalized {
+		return nil, ErrNotFinalized
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("retrieval: lambda %g outside [0,1]", lambda)
+	}
+	var max float64
+	for _, r := range docRank {
+		if r > max {
+			max = r
+		}
+	}
+	if max == 0 {
+		return nil, fmt.Errorf("retrieval: zero DocRank vector")
+	}
+	return &SearchEngine{index: ix, docRank: docRank, maxRank: max, lambda: lambda}, nil
+}
+
+// Search returns the top-k matching documents ordered by the blended
+// score. Only documents matching at least one query term are returned —
+// link score alone never surfaces a non-matching page.
+func (se *SearchEngine) Search(terms []string, k int) ([]Result, error) {
+	qScores, err := se.index.Query(terms)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(qScores))
+	for d, q := range qScores {
+		link := 0.0
+		if int(d) < len(se.docRank) {
+			link = se.docRank[d] / se.maxRank
+		}
+		results = append(results, Result{
+			Doc:      d,
+			Query:    q,
+			Link:     link,
+			Combined: se.lambda*q + (1-se.lambda)*link,
+		})
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Combined != results[b].Combined {
+			return results[a].Combined > results[b].Combined
+		}
+		return results[a].Doc < results[b].Doc
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results, nil
+}

@@ -1,0 +1,584 @@
+// Package webgen generates synthetic campus-web graphs that stand in for
+// the paper's 2003 EPFL crawl (218 sites, 433,707 pages), which is not
+// available. The generator reproduces the structural features the §3.3
+// evaluation depends on:
+//
+//   - a hierarchical site structure with power-law site sizes and
+//     home-page hubs (the "inherently hierarchical" Web of §2.2),
+//   - a main university site whose home page and service pages (place,
+//     search, news, anniversary, ...) receive organic cross-site links —
+//     the pages Figure 4 surfaces,
+//   - "Webdriver"-style dynamic-page agglomerates: thousands of
+//     server-side-script pages under one URL prefix, heavily interlinked,
+//     concentrating link mass on a few hub pages (the pages with 17,004
+//     in-links that dominate Figure 3),
+//   - javadoc-style documentation clusters: dense intra-linked page sets
+//     whose index pages accumulate thousands of in-links (the jdk1.4
+//     javadoc pages of Figure 3).
+//
+// Every document carries a ground-truth class so experiments can measure
+// spam contamination objectively. Generation is fully deterministic given
+// the seed.
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lmmrank/internal/graph"
+)
+
+// PageClass is the ground-truth role of a generated page.
+type PageClass uint8
+
+// Page classes. Agglomerate classes are the "spam" the paper's §3.3
+// discusses; they are not necessarily malicious (javadocs are legitimate
+// content) but their link structure spams flat PageRank.
+const (
+	ClassNormal PageClass = iota + 1
+	ClassHome
+	ClassAuthority
+	ClassDynamicAgglomerate
+	ClassDocAgglomerate
+)
+
+// String returns a short human-readable class name.
+func (c PageClass) String() string {
+	switch c {
+	case ClassNormal:
+		return "normal"
+	case ClassHome:
+		return "home"
+	case ClassAuthority:
+		return "authority"
+	case ClassDynamicAgglomerate:
+		return "dynamic-agglomerate"
+	case ClassDocAgglomerate:
+		return "doc-agglomerate"
+	default:
+		return fmt.Sprintf("PageClass(%d)", uint8(c))
+	}
+}
+
+// IsAgglomerate reports whether the class is one of the link-mass
+// agglomerates that inflate flat PageRank.
+func (c PageClass) IsAgglomerate() bool {
+	return c == ClassDynamicAgglomerate || c == ClassDocAgglomerate
+}
+
+// Config parameterizes generation. The zero value is replaced by Default.
+type Config struct {
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// Sites is the number of Web sites (default 218, the paper's count).
+	Sites int
+	// MeanSitePages is the mean page count of an ordinary site; actual
+	// sizes follow a discrete Pareto-like distribution (default 60).
+	MeanSitePages int
+	// AuthorityPages is the number of service pages on the main site that
+	// receive organic cross-site links (default 12).
+	AuthorityPages int
+	// IntraLinksPerPage is the average number of extra random intra-site
+	// links per page beyond the navigation backbone (default 3).
+	IntraLinksPerPage int
+	// InterLinkFraction is the probability that an ordinary page also
+	// carries one cross-site link to an authority target (default 0.25).
+	InterLinkFraction float64
+	// DynamicClusterPages is the size of the Webdriver-style agglomerate
+	// (default 2500; 0 disables it).
+	DynamicClusterPages int
+	// DocClusterPages is the size of the javadoc-style agglomerate
+	// (default 2500; 0 disables it).
+	DocClusterPages int
+	// Campuses is the number of independent campus domains (default 1).
+	// With K > 1 the generator exercises the Web's self-similarity (§2.2):
+	// each campus is a scaled copy under its own domain
+	// (campus.example, campus2.example, ...), cross-linked through the
+	// main home pages; agglomerates exist only on the first campus. Sites
+	// counts all ordinary sites per campus.
+	Campuses int
+}
+
+// Default returns the default configuration at laptop scale: the paper's
+// 218 sites with smaller per-site page counts (~16k pages total).
+func Default() Config {
+	return Config{
+		Sites:               218,
+		MeanSitePages:       60,
+		AuthorityPages:      12,
+		IntraLinksPerPage:   3,
+		InterLinkFraction:   0.25,
+		DynamicClusterPages: 2500,
+		DocClusterPages:     2500,
+	}
+}
+
+// Small returns a reduced configuration for unit tests: ~20 sites, a few
+// hundred pages, scaled-down agglomerates.
+func Small() Config {
+	return Config{
+		Sites:               20,
+		MeanSitePages:       15,
+		AuthorityPages:      4,
+		IntraLinksPerPage:   2,
+		InterLinkFraction:   0.25,
+		DynamicClusterPages: 120,
+		DocClusterPages:     120,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Sites == 0 {
+		c.Sites = d.Sites
+	}
+	if c.MeanSitePages == 0 {
+		c.MeanSitePages = d.MeanSitePages
+	}
+	if c.AuthorityPages == 0 {
+		c.AuthorityPages = d.AuthorityPages
+	}
+	if c.IntraLinksPerPage == 0 {
+		c.IntraLinksPerPage = d.IntraLinksPerPage
+	}
+	if c.InterLinkFraction == 0 {
+		c.InterLinkFraction = d.InterLinkFraction
+	}
+	if c.Campuses == 0 {
+		c.Campuses = 1
+	}
+	return c
+}
+
+// Web is a generated campus web with ground truth.
+type Web struct {
+	// Graph is the document graph.
+	Graph *graph.DocGraph
+	// Class holds the ground-truth class per DocID.
+	Class []PageClass
+	// MainHome is the DocID of the main site's home page.
+	MainHome graph.DocID
+}
+
+// SpamFlags returns the per-document agglomerate flags used by the
+// contamination metric.
+func (w *Web) SpamFlags() []bool {
+	out := make([]bool, len(w.Class))
+	for i, c := range w.Class {
+		out[i] = c.IsAgglomerate()
+	}
+	return out
+}
+
+// CountClass returns how many pages carry the given class.
+func (w *Web) CountClass(c PageClass) int {
+	var n int
+	for _, x := range w.Class {
+		if x == c {
+			n++
+		}
+	}
+	return n
+}
+
+// gen carries generation state.
+type gen struct {
+	cfg    Config
+	rng    *rand.Rand
+	b      *graph.Builder
+	campus int
+	class  map[graph.DocID]PageClass
+	// prefTargets is the repeated-node list implementing preferential
+	// attachment: a doc appears once per in-link received, so uniform
+	// sampling is degree-proportional.
+	prefTargets []graph.DocID
+}
+
+// Generate builds a synthetic campus web.
+func Generate(cfg Config) *Web {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		b:     graph.NewBuilder(),
+		class: make(map[graph.DocID]PageClass),
+	}
+
+	var campusHomes []graph.DocID
+	for c := 0; c < cfg.Campuses; c++ {
+		g.campus = c
+		mainHome, siteHomes, sitePages := g.buildSites()
+		g.linkDirectory(mainHome, siteHomes)
+		authorities := g.buildAuthorities(mainHome)
+		g.linkMainSiteNav(sitePages[0], authorities)
+		g.linkOrganicCrossSite(sitePages, siteHomes, authorities, mainHome)
+		campusHomes = append(campusHomes, mainHome)
+	}
+	g.campus = 0
+	if cfg.DynamicClusterPages > 0 {
+		g.buildDynamicAgglomerate(cfg.DynamicClusterPages)
+	}
+	if cfg.DocClusterPages > 0 {
+		g.buildDocAgglomerate(cfg.DocClusterPages)
+	}
+	// Cross-campus fabric: every campus main home links every other — the
+	// universities know each other — keeping the domain graph strongly
+	// connected.
+	for _, a := range campusHomes {
+		for _, b := range campusHomes {
+			if a != b {
+				g.b.LinkIDs(a, b)
+				g.noteTarget(b)
+			}
+		}
+	}
+	mainHome := campusHomes[0]
+
+	dg := g.b.Build()
+	w := &Web{
+		Graph:    dg,
+		Class:    make([]PageClass, dg.NumDocs()),
+		MainHome: mainHome,
+	}
+	for d := range w.Class {
+		w.Class[d] = ClassNormal
+	}
+	for d, c := range g.class {
+		w.Class[d] = c
+	}
+	return w
+}
+
+// domainName returns the registrable domain of campus c.
+func domainName(c int) string {
+	if c == 0 {
+		return "campus.example"
+	}
+	return fmt.Sprintf("campus%d.example", c+1)
+}
+
+// siteName returns the host of ordinary site s on the current campus;
+// site 0 is the campus main site.
+func (g *gen) siteName(s int) string {
+	if s == 0 {
+		return "www." + domainName(g.campus)
+	}
+	return fmt.Sprintf("dept%03d.%s", s, domainName(g.campus))
+}
+
+// buildSites creates all sites with their internal navigation structure
+// and returns the main home, each site's home, and each site's page list.
+func (g *gen) buildSites() (graph.DocID, []graph.DocID, [][]graph.DocID) {
+	cfg := g.cfg
+	siteHomes := make([]graph.DocID, cfg.Sites)
+	sitePages := make([][]graph.DocID, cfg.Sites)
+
+	for s := 0; s < cfg.Sites; s++ {
+		host := g.siteName(s)
+		n := g.siteSize(s)
+		pages := make([]graph.DocID, 0, n)
+
+		home := g.b.AddDocInSite(fmt.Sprintf("http://%s/", host), host)
+		g.class[home] = ClassHome
+		pages = append(pages, home)
+		g.noteTarget(home)
+
+		for p := 1; p < n; p++ {
+			d := g.b.AddDocInSite(fmt.Sprintf("http://%s/page%d.html", host, p), host)
+			pages = append(pages, d)
+			// Navigation backbone: parent ↔ child. Parents are earlier
+			// pages, biased toward the home page, giving homes hub
+			// in-degree as on real sites.
+			parent := home
+			if p > 1 && g.rng.Float64() > 0.4 {
+				parent = pages[g.rng.Intn(p)]
+			}
+			g.b.LinkIDs(parent, d)
+			g.b.LinkIDs(d, parent)
+			g.noteTarget(d)
+			g.noteTarget(parent)
+			// Breadcrumb: every page links home.
+			g.b.LinkIDs(d, home)
+			g.noteTarget(home)
+		}
+
+		// Extra random intra-site links with preferential attachment
+		// restricted to this site.
+		extra := cfg.IntraLinksPerPage * len(pages)
+		for e := 0; e < extra; e++ {
+			from := pages[g.rng.Intn(len(pages))]
+			to := pages[g.rng.Intn(len(pages))]
+			if g.rng.Float64() < 0.5 {
+				// Half the extra links chase popular local pages.
+				to = g.prefLocal(pages)
+			}
+			if from != to {
+				g.b.LinkIDs(from, to)
+				g.noteTarget(to)
+			}
+		}
+
+		siteHomes[s] = home
+		sitePages[s] = pages
+	}
+	return siteHomes[0], siteHomes, sitePages
+}
+
+// siteSize draws a Pareto-like discrete size; the main site is an order of
+// magnitude larger, as university main sites are.
+func (g *gen) siteSize(s int) int {
+	mean := g.cfg.MeanSitePages
+	if s == 0 {
+		return mean * 8
+	}
+	// Discrete Pareto with exponent 2 (finite mean ≈ mean): size =
+	// (mean/2)·u^(−1/2), truncated to keep the total laptop-sized.
+	u := g.rng.Float64()
+	if u < 1e-6 {
+		u = 1e-6
+	}
+	size := int(float64(mean) / 2 / math.Sqrt(u))
+	if size < 3 {
+		size = 3
+	}
+	if size > mean*20 {
+		size = mean * 20
+	}
+	return size
+}
+
+// linkDirectory wires the main site's directory to every site home and
+// each home back to the main home, the "every department links the
+// university and vice versa" convention that keeps the SiteGraph strongly
+// connected.
+func (g *gen) linkDirectory(mainHome graph.DocID, siteHomes []graph.DocID) {
+	for s, home := range siteHomes {
+		if s == 0 {
+			continue
+		}
+		g.b.LinkIDs(mainHome, home)
+		g.b.LinkIDs(home, mainHome)
+		g.noteTarget(home)
+		g.noteTarget(mainHome)
+	}
+}
+
+// authorityPaths name the main-site service pages after the Figure 4
+// winners.
+var authorityPaths = []string{
+	"place.html", "styles/dynastyle.php", "150/", "impressum.html",
+	"news/", "search/", "events/", "journal/", "press/", "vp-education/",
+	"library/", "campus-map/", "student-bar/", "associations/", "jobs/",
+	"directory/",
+}
+
+// buildAuthorities creates the main site's service pages and links them
+// from the main home.
+func (g *gen) buildAuthorities(mainHome graph.DocID) []graph.DocID {
+	host := g.siteName(0)
+	n := g.cfg.AuthorityPages
+	if n > len(authorityPaths) {
+		n = len(authorityPaths)
+	}
+	out := make([]graph.DocID, 0, n)
+	for i := 0; i < n; i++ {
+		d := g.b.AddDocInSite(fmt.Sprintf("http://%s/%s", host, authorityPaths[i]), host)
+		g.class[d] = ClassAuthority
+		g.b.LinkIDs(mainHome, d)
+		g.b.LinkIDs(d, mainHome)
+		g.noteTarget(d)
+		out = append(out, d)
+	}
+	return out
+}
+
+// linkMainSiteNav wires the main site's navigation bar: every page of the
+// main site links a couple of service pages, making them locally popular —
+// which is what lets the Layered Method surface them (Figure 4 lists
+// place.html and styles/dynastyle.php right after the home page, pages
+// every www page references).
+func (g *gen) linkMainSiteNav(mainPages []graph.DocID, authorities []graph.DocID) {
+	if len(authorities) == 0 {
+		return
+	}
+	for _, p := range mainPages {
+		for k := 0; k < 2; k++ {
+			a := authorities[g.rng.Intn(len(authorities))]
+			if a != p {
+				g.b.LinkIDs(p, a)
+				g.noteTarget(a)
+			}
+		}
+	}
+}
+
+// linkOrganicCrossSite adds the organic inter-site links: ordinary pages
+// referencing the main home, authorities, and popular site homes.
+func (g *gen) linkOrganicCrossSite(sitePages [][]graph.DocID, siteHomes, authorities []graph.DocID, mainHome graph.DocID) {
+	for s, pages := range sitePages {
+		for _, p := range pages {
+			if g.rng.Float64() >= g.cfg.InterLinkFraction {
+				continue
+			}
+			target := g.crossSiteTarget(siteHomes, authorities, mainHome, s)
+			if target != p {
+				g.b.LinkIDs(p, target)
+				g.noteTarget(target)
+			}
+		}
+	}
+}
+
+// crossSiteTarget draws a destination for an organic cross-site link.
+func (g *gen) crossSiteTarget(siteHomes, authorities []graph.DocID, mainHome graph.DocID, fromSite int) graph.DocID {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.30:
+		return mainHome
+	case r < 0.55 && len(authorities) > 0:
+		return authorities[g.rng.Intn(len(authorities))]
+	case r < 0.85:
+		// Popular site home via preferential attachment over all noted
+		// targets that happen to be homes; fall back to uniform.
+		for tries := 0; tries < 8; tries++ {
+			d := g.pref()
+			if g.class[d] == ClassHome {
+				return d
+			}
+		}
+		return siteHomes[g.rng.Intn(len(siteHomes))]
+	default:
+		return g.pref() // any popular page
+	}
+}
+
+// buildDynamicAgglomerate reproduces the research.epfl.ch "Webdriver"
+// pattern: a large set of server-side-script pages under one prefix,
+// each linking to a handful of cluster mates, with a few hub pages that
+// nearly every cluster page references (the 17,004-in-link pages of
+// Figure 3). The cluster lives on a legitimate site that also carries a
+// normal (small) page set.
+func (g *gen) buildDynamicAgglomerate(size int) {
+	host := "research." + domainName(0)
+	home := g.b.AddDocInSite(fmt.Sprintf("http://%s/", host), host)
+	g.class[home] = ClassHome
+	g.noteTarget(home)
+
+	pages := make([]graph.DocID, size)
+	for i := range pages {
+		d := g.b.AddDocInSite(
+			fmt.Sprintf("http://%s/research/Webdriver?LO=%d&MIval=x%d", host, i, i), host)
+		g.class[d] = ClassDynamicAgglomerate
+		pages[i] = d
+	}
+	nHubs := 4
+	if size < 16 {
+		nHubs = 1
+	}
+	hubs := pages[:nHubs]
+	for i, d := range pages {
+		// Every dynamic page points at (almost) every hub — the
+		// agglomerate in-degree explosion.
+		for _, h := range hubs {
+			if h != d {
+				g.b.LinkIDs(d, h)
+			}
+		}
+		// A few random cluster mates, forming the entangled mesh.
+		for k := 0; k < 4; k++ {
+			to := pages[g.rng.Intn(size)]
+			if to != d {
+				g.b.LinkIDs(d, to)
+			}
+		}
+		// Chain neighbours for navigability.
+		if i+1 < size {
+			g.b.LinkIDs(d, pages[i+1])
+		}
+		g.b.LinkIDs(d, home)
+	}
+	// The site home exposes the script entry points.
+	for _, h := range hubs {
+		g.b.LinkIDs(home, h)
+	}
+	g.b.LinkIDs(home, g.mainHomeID())
+	g.b.LinkIDs(g.mainHomeID(), home)
+}
+
+// buildDocAgglomerate reproduces the lamp.epfl.ch javadoc pattern: a
+// mirrored documentation tree whose index pages are linked from every
+// other page of the mirror (the 6,425-in-link javadoc page of Figure 3).
+func (g *gen) buildDocAgglomerate(size int) {
+	host := "docs." + domainName(0)
+	home := g.b.AddDocInSite(fmt.Sprintf("http://%s/", host), host)
+	g.class[home] = ClassHome
+	g.noteTarget(home)
+
+	pages := make([]graph.DocID, size)
+	for i := range pages {
+		d := g.b.AddDocInSite(
+			fmt.Sprintf("http://%s/~linuxsoft/java/jdk1.4/docs/api/class%d.html", host, i), host)
+		g.class[d] = ClassDocAgglomerate
+		pages[i] = d
+	}
+	nIndex := 3
+	if size < 12 {
+		nIndex = 1
+	}
+	indexes := pages[:nIndex]
+	for i, d := range pages {
+		// Javadoc chrome: every page links the index frames.
+		for _, ix := range indexes {
+			if ix != d {
+				g.b.LinkIDs(d, ix)
+			}
+		}
+		// Cross-references to related classes.
+		for k := 0; k < 4; k++ {
+			to := pages[g.rng.Intn(size)]
+			if to != d {
+				g.b.LinkIDs(d, to)
+			}
+		}
+		if i+1 < size {
+			g.b.LinkIDs(d, pages[i+1])
+		}
+	}
+	// Index pages link the package tree root and the site home.
+	for _, ix := range indexes {
+		g.b.LinkIDs(ix, home)
+		g.b.LinkIDs(home, ix)
+	}
+	g.b.LinkIDs(home, g.mainHomeID())
+	g.b.LinkIDs(g.mainHomeID(), home)
+}
+
+// mainHomeID looks up the main home (always the first doc added).
+func (g *gen) mainHomeID() graph.DocID {
+	d, _ := g.b.Doc("http://www." + domainName(0) + "/")
+	return d
+}
+
+// noteTarget records one received link for preferential attachment.
+func (g *gen) noteTarget(d graph.DocID) {
+	g.prefTargets = append(g.prefTargets, d)
+}
+
+// pref draws a document proportionally to its recorded in-link count.
+func (g *gen) pref() graph.DocID {
+	return g.prefTargets[g.rng.Intn(len(g.prefTargets))]
+}
+
+// prefLocal draws a popular page restricted to the given site's pages; it
+// falls back to uniform choice after a few rejected draws.
+func (g *gen) prefLocal(pages []graph.DocID) graph.DocID {
+	lo, hi := pages[0], pages[len(pages)-1]
+	for tries := 0; tries < 6; tries++ {
+		d := g.pref()
+		if d >= lo && d <= hi {
+			return d
+		}
+	}
+	return pages[g.rng.Intn(len(pages))]
+}
