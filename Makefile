@@ -1,0 +1,29 @@
+# Development targets for lmmrank. `make check` is the CI gate.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The distributed runtime is concurrency-heavy; keep it race-clean.
+race:
+	$(GO) test -race ./internal/dist/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -1,0 +1,3 @@
+module lmmrank
+
+go 1.24

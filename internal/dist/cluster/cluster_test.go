@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"testing"
+
+	"lmmrank/internal/dist/coordinator"
+	"lmmrank/internal/lmm"
+	"lmmrank/internal/webgen"
+)
+
+func testWeb() *webgen.Web {
+	return webgen.Generate(webgen.Config{
+		Seed:                42,
+		Sites:               20,
+		MeanSitePages:       12,
+		DynamicClusterPages: 60,
+		DocClusterPages:     60,
+	})
+}
+
+// TestPartitionTheoremOverTheWire is the core correctness claim: the
+// distributed runtime must reproduce the single-process Layered Method
+// to solver tolerance, with both the central and the decentralized
+// SiteRank variants.
+func TestPartitionTheoremOverTheWire(t *testing.T) {
+	web := testWeb()
+	ref, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{})
+	if err != nil {
+		t.Fatalf("reference LayeredDocRank: %v", err)
+	}
+
+	for _, distSite := range []bool{false, true} {
+		name := "centralSiteRank"
+		if distSite {
+			name = "distributedSiteRank"
+		}
+		t.Run(name, func(t *testing.T) {
+			cl, err := StartLocal(3)
+			if err != nil {
+				t.Fatalf("StartLocal: %v", err)
+			}
+			defer cl.Close()
+
+			res, err := cl.Coord.Rank(web.Graph, coordinator.Config{DistributedSiteRank: distSite})
+			if err != nil {
+				t.Fatalf("Rank: %v", err)
+			}
+			if d := res.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+				t.Errorf("‖distributed − LayeredDocRank‖₁ = %g, want < 1e-9", d)
+			}
+			if d := res.SiteRank.L1Diff(ref.SiteRank); d >= 1e-9 {
+				t.Errorf("‖distributed − reference‖₁ on SiteRank = %g, want < 1e-9", d)
+			}
+			if res.Stats.SiteRankRounds == 0 {
+				t.Error("SiteRankRounds not recorded")
+			}
+			if res.Stats.Messages == 0 || res.Stats.BytesSent == 0 || res.Stats.BytesReceived == 0 {
+				t.Errorf("transport stats are decorative: %+v", res.Stats)
+			}
+		})
+	}
+}
+
+// TestDeterminism re-runs the same distributed ranking and demands
+// bitwise-identical output — partial sums must reduce in a fixed order
+// regardless of goroutine scheduling and map iteration.
+func TestDeterminism(t *testing.T) {
+	web := testWeb()
+	for _, distSite := range []bool{false, true} {
+		var prev []float64
+		for run := 0; run < 2; run++ {
+			cl, err := StartLocal(4)
+			if err != nil {
+				t.Fatalf("StartLocal: %v", err)
+			}
+			res, err := cl.Coord.Rank(web.Graph, coordinator.Config{DistributedSiteRank: distSite})
+			cl.Close()
+			if err != nil {
+				t.Fatalf("Rank (distSite=%v, run %d): %v", distSite, run, err)
+			}
+			if prev == nil {
+				prev = res.DocRank
+				continue
+			}
+			for i, x := range res.DocRank {
+				if x != prev[i] {
+					t.Fatalf("distSite=%v: run differs at doc %d: %g vs %g", distSite, i, x, prev[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRepeatedRank reuses one fleet for several runs; shards from the
+// previous run must be fully replaced, not accumulated.
+func TestRepeatedRank(t *testing.T) {
+	webA := testWeb()
+	webB := webgen.Generate(webgen.Config{
+		Seed:                7,
+		Sites:               9,
+		MeanSitePages:       8,
+		DynamicClusterPages: 20,
+		DocClusterPages:     20,
+	})
+	cl, err := StartLocal(2)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+
+	for _, web := range []*webgen.Web{webA, webB, webA} {
+		res, err := cl.Coord.Rank(web.Graph, coordinator.Config{})
+		if err != nil {
+			t.Fatalf("Rank: %v", err)
+		}
+		ref, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{})
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		if d := res.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+			t.Errorf("after refit to %d sites: L1 gap %g", web.Graph.NumSites(), d)
+		}
+	}
+}
+
+// TestWorkerSideStats asserts the peers account the same conversation
+// the coordinator does: fleet-wide worker byte counters must mirror the
+// coordinator's (sent↔received swapped).
+func TestWorkerSideStats(t *testing.T) {
+	web := testWeb()
+	cl, err := StartLocal(2)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Coord.Rank(web.Graph, coordinator.Config{DistributedSiteRank: true}); err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+
+	var wMsgs, wIn, wOut uint64
+	for _, w := range cl.Workers {
+		st := w.Stats()
+		wMsgs += st.Messages
+		wIn += st.BytesReceived
+		wOut += st.BytesSent
+	}
+	cMsgs, cOut, cIn := cl.Coord.Stats()
+	if wMsgs != cMsgs {
+		t.Errorf("message counts disagree: workers served %d, coordinator sent %d", wMsgs, cMsgs)
+	}
+	if wIn != cOut {
+		t.Errorf("byte accounting disagrees: workers received %d, coordinator sent %d", wIn, cOut)
+	}
+	if wOut != cIn {
+		t.Errorf("byte accounting disagrees: workers sent %d, coordinator received %d", wOut, cIn)
+	}
+}
+
+func TestStartLocalRejectsNonPositive(t *testing.T) {
+	if _, err := StartLocal(0); err == nil {
+		t.Error("StartLocal(0) succeeded, want error")
+	}
+}
+
+// TestDoubleClose asserts Close is a no-op the second time, on the
+// cluster and on its parts.
+func TestDoubleClose(t *testing.T) {
+	cl, err := StartLocal(2)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Errorf("second cluster Close: %v", err)
+	}
+	for i, w := range cl.Workers {
+		if err := w.Close(); err != nil {
+			t.Errorf("worker %d re-Close: %v", i, err)
+		}
+	}
+	if err := cl.Coord.Close(); err != nil {
+		t.Errorf("coordinator re-Close: %v", err)
+	}
+}
+
+// TestMoreWorkersThanSites covers fleets where some workers receive no
+// shards at all.
+func TestMoreWorkersThanSites(t *testing.T) {
+	web := webgen.Generate(webgen.Config{
+		Seed:                3,
+		Sites:               2,
+		MeanSitePages:       5,
+		DynamicClusterPages: 5,
+		DocClusterPages:     5,
+	})
+	cl, err := StartLocal(6)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+	res, err := cl.Coord.Rank(web.Graph, coordinator.Config{DistributedSiteRank: true})
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	ref, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if d := res.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+		t.Errorf("L1 gap %g with idle workers", d)
+	}
+}

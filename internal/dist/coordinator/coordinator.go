@@ -1,0 +1,505 @@
+// Package coordinator implements the central side of the distributed
+// Layered Method (§3.2 run across a fleet): it partitions a DocGraph by
+// site over gob/TCP workers, dispatches the per-site local DocRanks to
+// the peers, computes the SiteRank either centrally or by distributed
+// power iteration over worker-held rows of M(G_S), and composes the
+// global DocRank by the Partition Theorem.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lmmrank/internal/dist/wire"
+	"lmmrank/internal/graph"
+	"lmmrank/internal/lmm"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// DefaultDialTimeout bounds Dial per worker so a dead address fails
+// fast instead of hanging a cluster bring-up.
+const DefaultDialTimeout = 3 * time.Second
+
+// DefaultCallTimeout bounds each request/response exchange so a stalled
+// (but not closed) peer — a partitioned host, a stopped process —
+// surfaces as an error instead of wedging Rank forever. Generous,
+// because one exchange may cover a worker's whole local-rank batch.
+const DefaultCallTimeout = 2 * time.Minute
+
+// Config parameterizes one distributed ranking run.
+type Config struct {
+	// Damping is the PageRank damping factor / gatekeeper α (0 = 0.85).
+	Damping float64
+	// Tol and MaxIter bound every power run, local and site-level
+	// (0 = package matrix defaults).
+	Tol     float64
+	MaxIter int
+	// SiteGraph controls SiteLink aggregation (§3.1).
+	SiteGraph graph.SiteGraphOptions
+	// DistributedSiteRank selects the fully decentralized variant:
+	// instead of a central PageRank over M(G_S), the coordinator drives
+	// power rounds in which each worker multiplies the iterate by the
+	// rows of the site chain it owns.
+	DistributedSiteRank bool
+}
+
+func (c Config) damping() float64 {
+	if c.Damping == 0 {
+		return pagerank.DefaultDamping
+	}
+	return c.Damping
+}
+
+func (c Config) tol() float64 {
+	if c.Tol == 0 {
+		return matrix.DefaultTol
+	}
+	return c.Tol
+}
+
+func (c Config) maxIter() int {
+	if c.MaxIter == 0 {
+		return matrix.DefaultMaxIter
+	}
+	return c.MaxIter
+}
+
+// Stats breaks down the cost of a distributed run.
+type Stats struct {
+	// LoadDuration covers partitioning and shipping the site shards.
+	LoadDuration time.Duration
+	// LocalRankDuration covers the fleet-wide local DocRank phase.
+	LocalRankDuration time.Duration
+	// SiteRankDuration covers the site-layer computation.
+	SiteRankDuration time.Duration
+	// SiteRankRounds counts power iterations of the site layer
+	// (distributed rounds when DistributedSiteRank, else central ones).
+	SiteRankRounds int
+	// Messages counts request/response exchanges; BytesSent and
+	// BytesReceived count raw bytes across the coordinator's sockets,
+	// measured on the wire rather than estimated.
+	Messages      uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// Result is the outcome of a distributed ranking run.
+type Result struct {
+	// DocRank is the composed global ranking per DocID.
+	DocRank matrix.Vector
+	// SiteRank is πS per SiteID.
+	SiteRank matrix.Vector
+	// LocalIterations records each site's local power-method work as
+	// reported by its worker, matching WebResult.LocalIterations for
+	// the complexity experiments (E6).
+	LocalIterations []int
+	// Stats holds timing and transport cost of this run.
+	Stats Stats
+}
+
+// remote is one connected worker. Its gob stream is strictly
+// request/response, so a mutex serializes users of the connection.
+type remote struct {
+	mu     sync.Mutex
+	conn   *wire.Conn
+	addr   string
+	broken bool
+}
+
+// call performs one exchange on the remote's connection, bounded by
+// timeout (<= 0 means unbounded). Any transport failure — including a
+// timeout — leaves the request/response stream desynchronized (a late
+// response could pair with the next request), so it marks the remote
+// broken and closes the connection; later calls fail fast rather than
+// silently consuming stale payloads.
+func (r *remote) call(req *wire.Request, counters *wire.Counters, timeout time.Duration) (*wire.Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broken {
+		return nil, fmt.Errorf("coordinator: %s: connection broken by an earlier failure", r.addr)
+	}
+	if timeout > 0 {
+		r.conn.SetDeadline(time.Now().Add(timeout))
+		defer r.conn.SetDeadline(time.Time{})
+	}
+	if err := r.conn.Enc.Encode(req); err != nil {
+		r.markBroken()
+		return nil, fmt.Errorf("coordinator: send to %s: %w", r.addr, err)
+	}
+	var resp wire.Response
+	if err := r.conn.Dec.Decode(&resp); err != nil {
+		r.markBroken()
+		return nil, fmt.Errorf("coordinator: receive from %s: %w", r.addr, err)
+	}
+	counters.AddMessage()
+	if resp.Err != "" {
+		// Worker-side errors arrive in a well-formed response, so the
+		// stream stays in sync and the connection remains usable.
+		return nil, fmt.Errorf("coordinator: %s: %s", r.addr, resp.Err)
+	}
+	return &resp, nil
+}
+
+// markBroken poisons the remote; the caller holds r.mu.
+func (r *remote) markBroken() {
+	r.broken = true
+	r.conn.Close()
+}
+
+// Coordinator drives a fleet of workers through ranking runs.
+type Coordinator struct {
+	counters wire.Counters
+	workers  []*remote
+
+	// CallTimeout bounds each request/response exchange (0 selects
+	// DefaultCallTimeout, negative disables the bound). Set it before
+	// issuing calls; huge shard batches on slow links may need more.
+	CallTimeout time.Duration
+
+	// runMu serializes whole Rank runs: the protocol phases (reset,
+	// load, rank, power rounds) of two runs must not interleave.
+	runMu sync.Mutex
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial connects to every worker address (with DefaultDialTimeout per
+// address) and returns the connected coordinator. On any failure all
+// established connections are closed and an error naming the bad
+// address is returned.
+func Dial(addrs []string) (*Coordinator, error) {
+	return DialTimeout(addrs, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit per-address timeout.
+func DialTimeout(addrs []string, timeout time.Duration) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("coordinator: no worker addresses")
+	}
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	c := &Coordinator{}
+	for _, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("coordinator: dial worker %s: %w", addr, err)
+		}
+		c.workers = append(c.workers, &remote{
+			conn: wire.NewConn(conn, &c.counters),
+			addr: addr,
+		})
+	}
+	return c, nil
+}
+
+// NumWorkers returns the fleet size.
+func (c *Coordinator) NumWorkers() int { return len(c.workers) }
+
+// Ping round-trips a liveness probe to every worker concurrently. It
+// serializes with Rank so probe traffic never lands inside a run's
+// per-run Stats deltas.
+func (c *Coordinator) Ping() error {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return errors.New("coordinator: closed")
+	}
+	return c.broadcastErr(func(_ int, r *remote) error {
+		_, err := r.call(&wire.Request{Kind: wire.KindPing}, &c.counters, c.callTimeout())
+		return err
+	})
+}
+
+// Close hangs up every worker connection (the workers keep serving —
+// closing a coordinator does not stop the fleet). Idempotent.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var first error
+	for _, r := range c.workers {
+		if err := r.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns a snapshot of this coordinator's transport counters
+// (cumulative across runs; Rank reports per-run deltas).
+func (c *Coordinator) Stats() (messages, bytesSent, bytesReceived uint64) {
+	return c.counters.Messages(), c.counters.BytesSent(), c.counters.BytesReceived()
+}
+
+func (c *Coordinator) callTimeout() time.Duration {
+	if c.CallTimeout == 0 {
+		return DefaultCallTimeout
+	}
+	return c.CallTimeout
+}
+
+// broadcastErr runs fn against every worker concurrently, passing each
+// worker's fleet index, and joins the errors in worker order.
+func (c *Coordinator) broadcastErr(fn func(idx int, r *remote) error) error {
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, r := range c.workers {
+		wg.Add(1)
+		go func(i int, r *remote) {
+			defer wg.Done()
+			errs[i] = fn(i, r)
+		}(i, r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rank executes the distributed Layered Method on dg: partition sites
+// over the fleet, ship shards, rank locally on the peers, compute the
+// SiteRank, and compose the global DocRank per the Partition Theorem.
+func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, errors.New("coordinator: closed")
+	}
+	if err := dg.Validate(); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	if dg.NumDocs() == 0 {
+		return nil, errors.New("coordinator: empty graph")
+	}
+	// Validate damping up front so the distributed SiteRank path rejects
+	// bad values exactly like the central pagerank path does.
+	if f := cfg.damping(); f <= 0 || f >= 1 {
+		return nil, fmt.Errorf("coordinator: %w: damping %g outside (0,1)", pagerank.ErrBadConfig, f)
+	}
+
+	startMsgs, startOut, startIn := c.counters.Messages(), c.counters.BytesSent(), c.counters.BytesReceived()
+	res := &Result{}
+	ns := dg.NumSites()
+
+	// Steps 1–2: derive the SiteGraph and its row-stochastic rows.
+	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
+
+	// Partition and ship. Site s goes to worker s mod N — deterministic
+	// and roughly balanced for the near-uniform site sizes of campus
+	// webs (smarter policies are a follow-on).
+	loadStart := time.Now()
+	if err := c.broadcastErr(func(_ int, r *remote) error {
+		_, err := r.call(&wire.Request{Kind: wire.KindReset}, &c.counters, c.callTimeout())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	batches := c.partition(dg, sg, cfg)
+	if err := c.broadcastErr(func(idx int, r *remote) error {
+		// Even shardless workers get a Load so they learn the site-space
+		// dimension and can answer power rounds with a zero partial.
+		_, err := r.call(&wire.Request{
+			Kind:     wire.KindLoad,
+			NumSites: ns,
+			Shards:   batches[idx],
+		}, &c.counters, c.callTimeout())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res.Stats.LoadDuration = time.Since(loadStart)
+
+	// Step 3 on the fleet: local DocRanks, all workers concurrently.
+	localStart := time.Now()
+	localRanks := make([]matrix.Vector, ns)
+	localIters := make([]int, ns)
+	var localMu sync.Mutex
+	if err := c.broadcastErr(func(idx int, r *remote) error {
+		if len(batches[idx]) == 0 {
+			return nil
+		}
+		resp, err := r.call(&wire.Request{
+			Kind:    wire.KindRankLocal,
+			Damping: cfg.Damping,
+			Tol:     cfg.Tol,
+			MaxIter: cfg.MaxIter,
+		}, &c.counters, c.callTimeout())
+		if err != nil {
+			return err
+		}
+		localMu.Lock()
+		defer localMu.Unlock()
+		for _, lr := range resp.Local {
+			if lr.Site < 0 || lr.Site >= ns {
+				return fmt.Errorf("coordinator: %s returned rank for unknown site %d", r.addr, lr.Site)
+			}
+			// Ownership check: a confused worker must not silently
+			// overwrite another worker's results.
+			if lr.Site%len(c.workers) != idx {
+				return fmt.Errorf("coordinator: %s returned rank for site %d owned by worker %d",
+					r.addr, lr.Site, lr.Site%len(c.workers))
+			}
+			localRanks[lr.Site] = lr.Scores
+			localIters[lr.Site] = lr.Iterations
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for s := 0; s < ns; s++ {
+		want := dg.SiteSize(graph.SiteID(s))
+		if localRanks[s] == nil && want > 0 {
+			return nil, fmt.Errorf("coordinator: no local rank received for site %d", s)
+		}
+		if len(localRanks[s]) != want {
+			return nil, fmt.Errorf("coordinator: site %d local rank has %d entries, want %d",
+				s, len(localRanks[s]), want)
+		}
+	}
+	res.Stats.LocalRankDuration = time.Since(localStart)
+
+	// Step 4: SiteRank, central or decentralized.
+	siteStart := time.Now()
+	var siteRank matrix.Vector
+	if cfg.DistributedSiteRank {
+		var rounds int
+		var err error
+		siteRank, rounds, err = c.distributedSiteRank(ns, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.SiteRankRounds = rounds
+	} else {
+		pr, err := pagerank.Graph(sg.G, pagerank.Config{
+			Damping: cfg.Damping,
+			Tol:     cfg.Tol,
+			MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: siterank: %w", err)
+		}
+		siteRank = pr.Scores
+		res.Stats.SiteRankRounds = pr.Iterations
+	}
+	res.Stats.SiteRankDuration = time.Since(siteStart)
+
+	// Step 5: composition by the Partition Theorem, shared with the
+	// in-process pipeline.
+	res.SiteRank = siteRank
+	res.DocRank = lmm.ComposeDocRank(dg, siteRank, localRanks)
+	res.LocalIterations = localIters
+
+	res.Stats.Messages = c.counters.Messages() - startMsgs
+	res.Stats.BytesSent = c.counters.BytesSent() - startOut
+	res.Stats.BytesReceived = c.counters.BytesReceived() - startIn
+	return res, nil
+}
+
+// partition builds each worker's shard batch: for site s, the local
+// subgraph G^s_d in compact local indices — plus row s of the
+// normalized site transition matrix, but only when the decentralized
+// SiteRank will consume it (central mode skips that wire cost).
+func (c *Coordinator) partition(dg *graph.DocGraph, sg *graph.SiteGraph, cfg Config) [][]wire.SiteShard {
+	nw := len(c.workers)
+	batches := make([][]wire.SiteShard, nw)
+	for s := 0; s < dg.NumSites(); s++ {
+		sub, _ := dg.LocalSubgraph(graph.SiteID(s))
+		shard := wire.SiteShard{
+			Site:    s,
+			NumDocs: sub.NumNodes(),
+		}
+		sub.EachEdgeAll(func(from int, e graph.Edge) {
+			shard.Edges = append(shard.Edges, wire.Edge{From: from, To: e.To, Weight: e.Weight})
+		})
+		total := 0.0
+		if cfg.DistributedSiteRank {
+			total = sg.G.OutWeight(s)
+		}
+		if total > 0 {
+			sg.G.EachEdge(s, func(e graph.Edge) {
+				shard.RowCols = append(shard.RowCols, e.To)
+				shard.RowVals = append(shard.RowVals, e.Weight/total)
+			})
+		}
+		w := s % nw
+		batches[w] = append(batches[w], shard)
+	}
+	return batches
+}
+
+// distributedSiteRank runs the damped power method x' ← x'Mˆ(G_S)
+// without ever holding M(G_S) product-side: each round, every worker
+// returns the partial product over the rows it owns plus its dangling
+// mass; the coordinator sums partials in fixed worker order (float
+// determinism), applies the teleport correction exactly as the central
+// pagerank.Operator does, and normalizes. The per-round exchange is a
+// vector of N_S floats each way — the paper's small site-layer cost.
+func (c *Coordinator) distributedSiteRank(ns int, cfg Config) (matrix.Vector, int, error) {
+	f := cfg.damping()
+	tol := cfg.tol()
+	maxIter := cfg.maxIter()
+	uniform := 1.0 / float64(ns)
+
+	x := matrix.Uniform(ns)
+	next := matrix.NewVector(ns)
+	partials := make([][]float64, len(c.workers))
+	dangling := make([]float64, len(c.workers))
+
+	for round := 1; round <= maxIter; round++ {
+		if err := c.broadcastErr(func(idx int, r *remote) error {
+			resp, err := r.call(&wire.Request{
+				Kind:     wire.KindPowerRound,
+				NumSites: ns,
+				X:        x,
+			}, &c.counters, c.callTimeout())
+			if err != nil {
+				return err
+			}
+			if len(resp.Partial) != ns {
+				return fmt.Errorf("coordinator: %s returned partial of length %d, want %d",
+					r.addr, len(resp.Partial), ns)
+			}
+			partials[idx] = resp.Partial
+			dangling[idx] = resp.DanglingMass
+			return nil
+		}); err != nil {
+			return nil, round, err
+		}
+
+		// Reduce in worker order, then apply Mˆ's rank-one terms:
+		// y = f·(x'M) + (f·danglingMass + (1−f)·Σx)·v, v uniform.
+		next.Fill(0)
+		var dangMass float64
+		for i := range partials {
+			next.AddScaled(1, partials[i])
+			dangMass += dangling[i]
+		}
+		coeff := f*dangMass + (1-f)*x.Sum()
+		for t := range next {
+			next[t] = f*next[t] + coeff*uniform
+		}
+		next.Normalize()
+		residual := next.L1Diff(x)
+		x, next = next, x
+		if residual <= tol {
+			return x, round, nil
+		}
+	}
+	return x, maxIter, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
+		matrix.ErrNotConverged, maxIter)
+}

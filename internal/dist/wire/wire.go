@@ -1,0 +1,180 @@
+// Package wire defines the gob-over-TCP protocol spoken between the
+// distributed-ranking coordinator and its workers, plus the counting
+// connection wrapper that makes transport statistics (messages, bytes)
+// real on both ends of every socket.
+//
+// The protocol is a strict request/response alternation per connection:
+// the coordinator encodes one Request, the worker decodes it, performs
+// the operation and encodes one Response. A single long-lived gob stream
+// per direction amortizes type descriptors across the session, so the
+// steady-state cost of a SiteRank power round is close to the raw float
+// payload (a vector of N_S values each way — the paper's claim that the
+// site-layer exchange is small).
+package wire
+
+import (
+	"encoding/gob"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates request types.
+type Kind uint8
+
+// Protocol operations, coordinator → worker.
+const (
+	// KindPing checks liveness; the response carries no payload.
+	KindPing Kind = iota + 1
+	// KindLoad installs a batch of site shards, replacing any sites the
+	// worker held from a previous run with the same IDs.
+	KindLoad
+	// KindReset drops all loaded shards, so a new Rank starts clean.
+	KindReset
+	// KindRankLocal computes the local DocRank of every loaded site.
+	KindRankLocal
+	// KindPowerRound performs one distributed SiteRank power step over
+	// the worker's owned rows of the site transition chain.
+	KindPowerRound
+)
+
+// MaxShardDocs bounds the aggregate claimed document count of one Load
+// request, and MaxSites bounds the site-space dimension. Both are far
+// beyond any real deployment (the paper's whole crawl is ~10^5
+// documents). They do not make allocation strictly proportional to wire
+// bytes — a shard may legitimately hold many edge-free documents — but
+// they cap the amplification a malformed or hostile request can buy
+// (~100 MB of adjacency headers per request at the limit) well below
+// address-space exhaustion.
+const (
+	MaxShardDocs = 1 << 22
+	MaxSites     = 1 << 22
+)
+
+// Edge is one weighted directed edge of a shipped local subgraph, in
+// the site's compact local indices.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// SiteShard is one site's slice of the distributed computation: its
+// local document subgraph G^s_d (the input of the worker-side DocRank)
+// and its row of the site-level transition chain M(G_S) (the input of
+// the distributed SiteRank power iteration).
+type SiteShard struct {
+	// Site is the SiteID in the coordinator's DocGraph.
+	Site int
+	// NumDocs is the number of local documents (subgraph nodes).
+	NumDocs int
+	// Edges is the local subgraph in local indices.
+	Edges []Edge
+	// RowCols/RowVals hold the non-zeros of row Site of the
+	// row-stochastic site transition matrix. Empty = dangling site.
+	RowCols []int
+	RowVals []float64
+}
+
+// Request is the coordinator → worker envelope. Only the fields of the
+// active Kind are populated; gob omits zero-valued fields, so inactive
+// payloads cost nothing on the wire.
+type Request struct {
+	Kind Kind
+	// Shards carries KindLoad payload.
+	Shards []SiteShard
+	// NumSites is the site-space dimension, needed by KindPowerRound
+	// partials and validated at KindLoad.
+	NumSites int
+	// Damping/Tol/MaxIter parameterize KindRankLocal (zero = defaults).
+	Damping float64
+	Tol     float64
+	MaxIter int
+	// X is the current SiteRank iterate for KindPowerRound.
+	X []float64
+}
+
+// LocalRank is one site's local DocRank as computed by a worker.
+type LocalRank struct {
+	Site       int
+	Scores     []float64
+	Iterations int
+}
+
+// Response is the worker → coordinator envelope.
+type Response struct {
+	// Err is non-empty when the operation failed worker-side.
+	Err string
+	// Local carries KindRankLocal results, one entry per loaded site.
+	Local []LocalRank
+	// Partial is the worker's contribution to x'M for KindPowerRound:
+	// sum over owned rows s of X[s]·row_s, a dense length-NumSites
+	// vector.
+	Partial []float64
+	// DanglingMass is the iterate mass sitting on owned dangling rows,
+	// needed centrally for the teleport coefficient.
+	DanglingMass float64
+}
+
+// Counters accumulates transport statistics for one endpoint. All
+// methods are safe for concurrent use.
+type Counters struct {
+	messages atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+}
+
+// AddMessage records one protocol message (a request/response pair
+// counts once on each end, attributed to the receiver of the request).
+func (c *Counters) AddMessage() { c.messages.Add(1) }
+
+// Messages returns the number of protocol messages recorded.
+func (c *Counters) Messages() uint64 { return c.messages.Load() }
+
+// BytesReceived returns the total bytes read from counted connections.
+func (c *Counters) BytesReceived() uint64 { return c.bytesIn.Load() }
+
+// BytesSent returns the total bytes written to counted connections.
+func (c *Counters) BytesSent() uint64 { return c.bytesOut.Load() }
+
+// Conn wraps a net.Conn so every byte crossing it is attributed to a
+// Counters, and pairs the connection with its long-lived gob codecs.
+type Conn struct {
+	conn net.Conn
+	c    *Counters
+	Enc  *gob.Encoder
+	Dec  *gob.Decoder
+}
+
+// NewConn wraps conn, attributing its traffic to counters.
+func NewConn(conn net.Conn, counters *Counters) *Conn {
+	w := &Conn{conn: conn, c: counters}
+	w.Enc = gob.NewEncoder(countWriter{w})
+	w.Dec = gob.NewDecoder(countReader{w})
+	return w
+}
+
+// Close closes the underlying connection.
+func (w *Conn) Close() error { return w.conn.Close() }
+
+// SetDeadline bounds both reads and writes on the underlying
+// connection; the zero time clears the bound.
+func (w *Conn) SetDeadline(t time.Time) error { return w.conn.SetDeadline(t) }
+
+// RemoteAddr exposes the peer address for error messages.
+func (w *Conn) RemoteAddr() net.Addr { return w.conn.RemoteAddr() }
+
+type countReader struct{ w *Conn }
+
+func (r countReader) Read(p []byte) (int, error) {
+	n, err := r.w.conn.Read(p)
+	r.w.c.bytesIn.Add(uint64(n))
+	return n, err
+}
+
+type countWriter struct{ w *Conn }
+
+func (w countWriter) Write(p []byte) (int, error) {
+	n, err := w.w.conn.Write(p)
+	w.w.c.bytesOut.Add(uint64(n))
+	return n, err
+}

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+// TestConnCountsBothDirections pushes a request/response pair through a
+// real socket pair and checks every byte lands in the right counter on
+// both endpoints.
+func TestConnCountsBothDirections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	var serverCtr Counters
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		wc := NewConn(conn, &serverCtr)
+		defer wc.Close()
+		var req Request
+		if err := wc.Dec.Decode(&req); err != nil {
+			t.Errorf("server decode: %v", err)
+			return
+		}
+		serverCtr.AddMessage()
+		if err := wc.Enc.Encode(&Response{Partial: req.X}); err != nil {
+			t.Errorf("server encode: %v", err)
+		}
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	var clientCtr Counters
+	cc := NewConn(raw, &clientCtr)
+	defer cc.Close()
+
+	req := &Request{Kind: KindPowerRound, NumSites: 3, X: []float64{0.2, 0.3, 0.5}}
+	if err := cc.Enc.Encode(req); err != nil {
+		t.Fatalf("client encode: %v", err)
+	}
+	var resp Response
+	if err := cc.Dec.Decode(&resp); err != nil {
+		t.Fatalf("client decode: %v", err)
+	}
+	clientCtr.AddMessage()
+	wg.Wait()
+
+	if len(resp.Partial) != 3 || resp.Partial[2] != 0.5 {
+		t.Errorf("echoed payload corrupted: %v", resp.Partial)
+	}
+	if clientCtr.Messages() != 1 || serverCtr.Messages() != 1 {
+		t.Errorf("messages: client %d server %d, want 1 and 1", clientCtr.Messages(), serverCtr.Messages())
+	}
+	if clientCtr.BytesSent() == 0 || clientCtr.BytesReceived() == 0 {
+		t.Errorf("client counters empty: %d out, %d in", clientCtr.BytesSent(), clientCtr.BytesReceived())
+	}
+	if clientCtr.BytesSent() != serverCtr.BytesReceived() {
+		t.Errorf("client sent %d but server received %d", clientCtr.BytesSent(), serverCtr.BytesReceived())
+	}
+	if serverCtr.BytesSent() != clientCtr.BytesReceived() {
+		t.Errorf("server sent %d but client received %d", serverCtr.BytesSent(), clientCtr.BytesReceived())
+	}
+}

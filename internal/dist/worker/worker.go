@@ -1,0 +1,388 @@
+// Package worker implements the peer side of the distributed Layered
+// Method: a gob-over-TCP server that hosts site shards, computes their
+// local DocRanks with the same kernels as the in-process pipeline, and
+// answers SiteRank power rounds over the rows of the site chain it owns
+// — the paper's Web server participating in decentralized ranking.
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"lmmrank/internal/dist/wire"
+	"lmmrank/internal/graph"
+	"lmmrank/internal/lmm"
+)
+
+// Stats summarizes a worker's transport activity since New.
+type Stats struct {
+	// Messages counts protocol requests served.
+	Messages uint64
+	// BytesReceived and BytesSent count raw socket traffic.
+	BytesReceived uint64
+	BytesSent     uint64
+}
+
+// shard is one hosted site: its local subgraph, ready to rank, and its
+// row of the site transition chain, ready to multiply.
+type shard struct {
+	site    int
+	sub     *graph.Digraph
+	rowCols []int
+	rowVals []float64
+}
+
+// session is the per-connection state of one coordinator: the shards
+// it loaded. Scoping state to the connection isolates concurrent
+// coordinators from each other — two fleets' runs over the same worker
+// cannot clobber one another's shards.
+type session struct {
+	shards   map[int]*shard
+	numSites int
+	// totalDocs tracks the aggregate hosted document count, bounded by
+	// wire.MaxShardDocs across the whole session — per-request bounds
+	// alone would let a looping client accumulate unbounded memory.
+	totalDocs int
+	// sorted caches sortedShards; nil after any shard mutation.
+	sorted []*shard
+}
+
+// sortedShards returns the loaded shards in ascending site order, the
+// fixed iteration order both compute handlers rely on (map order would
+// vary float summation and result ordering across runs). The slice is
+// cached until the next Load/Reset so power rounds skip the re-sort
+// (each round still allocates its partial vector).
+func (s *session) sortedShards() []*shard {
+	if s.sorted != nil {
+		return s.sorted
+	}
+	out := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].site < out[b].site })
+	s.sorted = out
+	return out
+}
+
+// Worker is a distributed-ranking peer. Zero workers are not useful:
+// construct with New, serve with Start, stop with Close (idempotent).
+type Worker struct {
+	counters wire.Counters
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New returns an idle worker holding no sites.
+func New() *Worker {
+	return &Worker{
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Start listens on the given TCP address ("host:port"; port 0 picks a
+// free one) and serves coordinator connections until Close. It returns
+// the bound address, which is how loopback clusters learn their ports.
+func (w *Worker) Start(listen string) (string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return "", errors.New("worker: already closed")
+	}
+	if w.ln != nil {
+		return "", errors.New("worker: already started")
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", fmt.Errorf("worker: listen %s: %w", listen, err)
+	}
+	w.ln = ln
+	w.wg.Add(1)
+	go w.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, drops every open connection and waits for
+// the serving goroutines to drain. Calling Close again is a no-op.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	ln := w.ln
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of the transport counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		Messages:      w.counters.Messages(),
+		BytesReceived: w.counters.BytesReceived(),
+		BytesSent:     w.counters.BytesSent(),
+	}
+}
+
+func (w *Worker) acceptLoop(ln net.Listener) {
+	defer w.wg.Done()
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return
+			}
+			// Transient accept failures (e.g. EMFILE under a connection
+			// burst) must not silently kill serving while the process
+			// stays up; retry with bounded backoff, as net/http does.
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.wg.Add(1)
+		w.mu.Unlock()
+		go w.serveConn(conn)
+	}
+}
+
+func (w *Worker) serveConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+
+	wc := wire.NewConn(conn, &w.counters)
+	sess := &session{shards: make(map[int]*shard)}
+	for {
+		var req wire.Request
+		if err := wc.Dec.Decode(&req); err != nil {
+			// EOF and closed-connection errors are the coordinator
+			// hanging up; anything else is equally terminal for a
+			// strict request/response stream.
+			_ = err
+			return
+		}
+		w.counters.AddMessage()
+		resp := w.safeHandle(sess, &req)
+		if err := wc.Enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// safeHandle converts a handler panic into an error response, so one
+// session's pathological request cannot take down the process (and the
+// other coordinators' sessions with it). The request/response framing
+// survives, keeping the connection usable.
+func (w *Worker) safeHandle(sess *session, req *wire.Request) (resp *wire.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &wire.Response{Err: fmt.Sprintf("worker: request kind %d panicked: %v", req.Kind, r)}
+		}
+	}()
+	return w.handle(sess, req)
+}
+
+// handle dispatches one request. Requests of one connection arrive
+// sequentially, so sess needs no locking.
+func (w *Worker) handle(sess *session, req *wire.Request) *wire.Response {
+	switch req.Kind {
+	case wire.KindPing:
+		return &wire.Response{}
+	case wire.KindReset:
+		sess.shards = make(map[int]*shard)
+		sess.numSites = 0
+		sess.totalDocs = 0
+		sess.sorted = nil
+		return &wire.Response{}
+	case wire.KindLoad:
+		return handleLoad(sess, req)
+	case wire.KindRankLocal:
+		return handleRankLocal(sess, req)
+	case wire.KindPowerRound:
+		return handlePowerRound(sess, req)
+	default:
+		return &wire.Response{Err: fmt.Sprintf("worker: unknown request kind %d", req.Kind)}
+	}
+}
+
+func handleLoad(sess *session, req *wire.Request) *wire.Response {
+	if req.NumSites < 0 || req.NumSites > wire.MaxSites {
+		return &wire.Response{Err: fmt.Sprintf("worker: site space %d outside [0, %d]", req.NumSites, wire.MaxSites)}
+	}
+	loaded := make([]*shard, 0, len(req.Shards))
+	// Loads into an unchanged site space accumulate onto the session's
+	// existing shards, so the memory bound must count those too. (A
+	// conservative count: shards replaced by this request are counted
+	// twice; Reset between runs keeps the bound exact in practice.)
+	totalDocs := sess.totalDocs
+	if req.NumSites != sess.numSites {
+		totalDocs = 0
+	}
+	for _, s := range req.Shards {
+		if s.NumDocs < 0 || s.Site < 0 || s.Site >= req.NumSites {
+			return &wire.Response{Err: fmt.Sprintf("worker: invalid shard (site %d of %d, %d docs)",
+				s.Site, req.NumSites, s.NumDocs)}
+		}
+		// Bound the aggregate before any allocation, capping how much
+		// memory a small request can claim (see wire.MaxShardDocs).
+		totalDocs += s.NumDocs
+		if totalDocs > wire.MaxShardDocs {
+			return &wire.Response{Err: fmt.Sprintf("worker: load exceeds %d aggregate docs", wire.MaxShardDocs)}
+		}
+		sub := graph.NewDigraph(s.NumDocs)
+		for _, e := range s.Edges {
+			if e.From < 0 || e.From >= s.NumDocs || e.To < 0 || e.To >= s.NumDocs ||
+				!(e.Weight > 0) || math.IsInf(e.Weight, 0) {
+				return &wire.Response{Err: fmt.Sprintf("worker: site %d has invalid edge %d→%d (w=%g)",
+					s.Site, e.From, e.To, e.Weight)}
+			}
+			sub.AddEdge(e.From, e.To, e.Weight)
+		}
+		sub.Dedupe()
+		if len(s.RowCols) != len(s.RowVals) {
+			return &wire.Response{Err: fmt.Sprintf("worker: site %d row arity mismatch", s.Site)}
+		}
+		rowSum := 0.0
+		for k, col := range s.RowCols {
+			if col < 0 || col >= req.NumSites {
+				return &wire.Response{Err: fmt.Sprintf("worker: site %d row column %d out of range", s.Site, col)}
+			}
+			v := s.RowVals[k]
+			if !(v > 0) || math.IsInf(v, 0) {
+				return &wire.Response{Err: fmt.Sprintf("worker: site %d row value %g not a probability", s.Site, v)}
+			}
+			rowSum += v
+		}
+		if len(s.RowCols) > 0 && math.Abs(rowSum-1) > 1e-6 {
+			return &wire.Response{Err: fmt.Sprintf("worker: site %d row sums to %g, want 1", s.Site, rowSum)}
+		}
+		loaded = append(loaded, &shard{
+			site:    s.Site,
+			sub:     sub,
+			rowCols: s.RowCols,
+			rowVals: s.RowVals,
+		})
+	}
+	if req.NumSites != sess.numSites {
+		// A new site-space dimension means a new graph: stale shards
+		// from the previous one must not survive (their site IDs could
+		// index past the new dimension).
+		sess.shards = make(map[int]*shard, len(loaded))
+		sess.numSites = req.NumSites
+		sess.totalDocs = 0
+	}
+	for _, sh := range loaded {
+		if old, ok := sess.shards[sh.site]; ok {
+			sess.totalDocs -= old.sub.NumNodes()
+		}
+		sess.shards[sh.site] = sh
+		sess.totalDocs += sh.sub.NumNodes()
+	}
+	sess.sorted = nil
+	return &wire.Response{}
+}
+
+// handleRankLocal runs step 3 of §3.2 for every hosted site, in
+// parallel across the worker's cores — this is the computation the
+// paper pushes out of the central server and onto the peers. The
+// actual ranking is lmm.RankSubgraphs, the same code path the
+// in-process pipeline uses.
+func handleRankLocal(sess *session, req *wire.Request) *wire.Response {
+	shards := sess.sortedShards()
+	subs := make([]*graph.Digraph, len(shards))
+	for i, sh := range shards {
+		subs[i] = sh.sub
+	}
+	cfg := lmm.WebConfig{Damping: req.Damping, Tol: req.Tol, MaxIter: req.MaxIter}
+	ranks, iters, err := lmm.RankSubgraphs(subs, cfg)
+	if err != nil {
+		var sre *lmm.SubgraphRankError
+		if errors.As(err, &sre) {
+			return &wire.Response{Err: fmt.Sprintf("worker: local docrank of site %d: %v",
+				shards[sre.Index].site, sre.Err)}
+		}
+		return &wire.Response{Err: fmt.Sprintf("worker: rank local: %v", err)}
+	}
+	out := make([]wire.LocalRank, len(shards))
+	for i, sh := range shards {
+		out[i] = wire.LocalRank{Site: sh.site, Scores: ranks[i], Iterations: iters[i]}
+	}
+	return &wire.Response{Local: out}
+}
+
+// handlePowerRound computes this worker's contribution to one SiteRank
+// power step: partial[t] = Σ_{s owned} x[s]·M(G_S)[s,t], plus the
+// iterate mass on owned dangling rows. The coordinator sums partials
+// across the fleet and applies the damping/teleport correction, so the
+// distributed iteration reproduces the central Mˆ power method.
+func handlePowerRound(sess *session, req *wire.Request) *wire.Response {
+	if req.NumSites != sess.numSites {
+		return &wire.Response{Err: fmt.Sprintf("worker: power round over %d sites but %d loaded",
+			req.NumSites, sess.numSites)}
+	}
+	shards := sess.sortedShards()
+
+	if len(req.X) != req.NumSites {
+		return &wire.Response{Err: fmt.Sprintf("worker: iterate length %d vs %d sites", len(req.X), req.NumSites)}
+	}
+	partial := make([]float64, req.NumSites)
+	var dangling float64
+	for _, sh := range shards {
+		xs := req.X[sh.site]
+		if len(sh.rowCols) == 0 {
+			dangling += xs
+			continue
+		}
+		// Columns were range-checked at load time; the inner loop
+		// stays branch-free.
+		for k, col := range sh.rowCols {
+			partial[col] += xs * sh.rowVals[k]
+		}
+	}
+	return &wire.Response{Partial: partial, DanglingMass: dangling}
+}
+
+var _ io.Closer = (*Worker)(nil)

@@ -80,7 +80,6 @@ func UpdateLayeredDocRank(dg *graph.DocGraph, prev *WebResult, changed []graph.S
 
 	// Local ranks: recompute only the changed sites.
 	out := &WebResult{
-		DocRank:         matrix.NewVector(dg.NumDocs()),
 		SiteRank:        siteRes.Scores,
 		LocalRanks:      make([]matrix.Vector, dg.NumSites()),
 		SiteIterations:  siteRes.Iterations,
@@ -100,11 +99,6 @@ func UpdateLayeredDocRank(dg *graph.DocGraph, prev *WebResult, changed []graph.S
 	}
 
 	// Compose.
-	for s := range dg.Sites {
-		w := out.SiteRank[s]
-		for i, d := range dg.Sites[s].Docs {
-			out.DocRank[d] = w * out.LocalRanks[s][i]
-		}
-	}
+	out.DocRank = ComposeDocRank(dg, out.SiteRank, out.LocalRanks)
 	return out, nil
 }

@@ -85,20 +85,30 @@ func LayeredDocRank(dg *graph.DocGraph, cfg WebConfig) (*WebResult, error) {
 	}
 
 	// Step 5: weighted composition.
-	out := &WebResult{
-		DocRank:         matrix.NewVector(dg.NumDocs()),
+	return &WebResult{
+		DocRank:         ComposeDocRank(dg, siteRes.Scores, local),
 		SiteRank:        siteRes.Scores,
 		LocalRanks:      local,
 		SiteIterations:  siteRes.Iterations,
 		LocalIterations: localIters,
-	}
+	}, nil
+}
+
+// ComposeDocRank applies the Partition Theorem's composition (§3.2 step
+// 5): DocRank[d] = siteWeights[site(d)] · localRanks[site(d)][i], with
+// i the local index of d. The weights are πS for the two-layer method,
+// or any per-site weight (e.g. DomainRank·SiteEntry for three layers).
+// Shared by the in-process pipelines and the distributed coordinator so
+// the composition step cannot diverge between them.
+func ComposeDocRank(dg *graph.DocGraph, siteWeights matrix.Vector, localRanks []matrix.Vector) matrix.Vector {
+	out := matrix.NewVector(dg.NumDocs())
 	for s := range dg.Sites {
-		w := siteRes.Scores[s]
+		w := siteWeights[s]
 		for i, d := range dg.Sites[s].Docs {
-			out.DocRank[d] = w * local[s][i]
+			out[d] = w * localRanks[s][i]
 		}
 	}
-	return out, nil
+	return out
 }
 
 // localDocRanks computes πD(s) for every site concurrently.
@@ -108,30 +118,9 @@ func localDocRanks(dg *graph.DocGraph, cfg WebConfig) ([]matrix.Vector, []int, e
 	iters := make([]int, ns)
 	errs := make([]error, ns)
 
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > ns {
-		workers = ns
-	}
-
-	var wg sync.WaitGroup
-	sites := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range sites {
-				local[s], iters[s], errs[s] = localDocRank(dg, graph.SiteID(s), cfg)
-			}
-		}()
-	}
-	for s := 0; s < ns; s++ {
-		sites <- s
-	}
-	close(sites)
-	wg.Wait()
+	forEachParallel(ns, cfg.Parallelism, func(s int) {
+		local[s], iters[s], errs[s] = localDocRank(dg, graph.SiteID(s), cfg)
+	})
 
 	for s, err := range errs {
 		if err != nil {
@@ -141,6 +130,67 @@ func localDocRanks(dg *graph.DocGraph, cfg WebConfig) ([]matrix.Vector, []int, e
 	}
 	return local, iters, nil
 }
+
+// forEachParallel runs fn(i) for every i in [0,n) across a capped
+// goroutine pool (workers <= 0 selects GOMAXPROCS).
+func forEachParallel(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RankSubgraphs computes the local DocRank of each standalone site
+// subgraph in parallel — the batch a distributed worker runs for the
+// sites it hosts. It shares LocalDocRank and the dispatch pool with the
+// in-process pipeline. Failures are reported as a *SubgraphRankError so
+// callers can attribute the batch index to their own naming (site IDs,
+// hostnames).
+func RankSubgraphs(subs []*graph.Digraph, cfg WebConfig) ([]matrix.Vector, []int, error) {
+	ranks := make([]matrix.Vector, len(subs))
+	iters := make([]int, len(subs))
+	errs := make([]error, len(subs))
+	forEachParallel(len(subs), cfg.Parallelism, func(i int) {
+		ranks[i], iters[i], errs[i] = LocalDocRank(subs[i], cfg)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, &SubgraphRankError{Index: i, Err: err}
+		}
+	}
+	return ranks, iters, nil
+}
+
+// SubgraphRankError reports which batch index of RankSubgraphs failed.
+type SubgraphRankError struct {
+	Index int
+	Err   error
+}
+
+func (e *SubgraphRankError) Error() string {
+	return fmt.Sprintf("lmm: local docrank of subgraph %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying ranking failure for errors.Is/As.
+func (e *SubgraphRankError) Unwrap() error { return e.Err }
 
 // localDocRank computes one site's local DocRank (step 3 for one site).
 // Exported-shape logic shared by the in-process pipeline and the

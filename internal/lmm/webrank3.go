@@ -139,18 +139,16 @@ func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, 
 
 	// Compose the three layers.
 	out := &Web3Result{
-		DocRank:      matrix.NewVector(dg.NumDocs()),
 		Domains:      domains,
 		DomainRank:   domRes.Scores,
 		DomainOfSite: domainOfSite,
 		SiteEntry:    siteEntry,
 		LocalRanks:   local,
 	}
-	for s := range dg.Sites {
-		w := domRes.Scores[domainOfSite[s]] * siteEntry[s]
-		for i, d := range dg.Sites[s].Docs {
-			out.DocRank[d] = w * local[s][i]
-		}
+	weights := matrix.NewVector(dg.NumSites())
+	for s := range weights {
+		weights[s] = domRes.Scores[domainOfSite[s]] * siteEntry[s]
 	}
+	out.DocRank = ComposeDocRank(dg, weights, local)
 	return out, nil
 }
