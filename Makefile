@@ -1,5 +1,10 @@
 # Development targets for lmmrank. `make check` is the CI gate.
 
+# Pipelines (bench | benchjson) must fail when go test fails, not when
+# only the last stage does.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
 GO ?= go
 
 .PHONY: check fmt vet build test race bench
@@ -21,9 +26,23 @@ build:
 test:
 	$(GO) test ./...
 
-# The distributed runtime is concurrency-heavy; keep it race-clean.
+# The distributed runtime is concurrency-heavy, and internal/lmm holds
+# the parallel-pipeline regression tests (undeduped shared graphs);
+# keep both race-clean.
 race:
-	$(GO) test -race ./internal/dist/...
+	$(GO) test -race ./internal/dist/... ./internal/lmm/...
 
-bench:
+# Quick smoke pass over every benchmark in the module.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The perf trajectory: run the E-series benchmarks with allocation
+# reporting and record the session in BENCH_pr2.json under BENCH_LABEL
+# ("before" on the parent commit, "after" on the tip). A rerun with the
+# same label replaces that label's record; other labels are preserved.
+BENCH       ?= ^BenchmarkE
+BENCH_COUNT ?= 5
+BENCH_LABEL ?= after
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count=$(BENCH_COUNT) . \
+	    | $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_pr2.json

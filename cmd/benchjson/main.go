@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON record and merges it into a benchmark-trajectory
+// file under a label, so successive PRs can append comparable runs:
+//
+//	go test -run '^$' -bench '^BenchmarkE' -benchmem -count=5 . |
+//	    benchjson -label after -out BENCH_pr2.json
+//
+// The output file maps labels (e.g. "before", "after") to records; each
+// record captures the environment and every benchmark's runs with all
+// reported metrics (ns/op, B/op, allocs/op, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one benchmark measurement line.
+type Run struct {
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Record is one labeled benchmarking session.
+type Record struct {
+	GoVersion  string           `json:"go_version"`
+	GoOS       string           `json:"goos"`
+	GoArch     string           `json:"goarch"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Date       string           `json:"date"`
+	Benchmarks map[string][]Run `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		label = flag.String("label", "", "label to store this session under (required)")
+		out   = flag.String("out", "", "JSON trajectory file to merge into (required)")
+	)
+	flag.Parse()
+	if *label == "" || *out == "" {
+		flag.Usage()
+		return fmt.Errorf("-label and -out are required")
+	}
+
+	rec, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no Benchmark lines found on stdin")
+	}
+
+	sessions := map[string]*Record{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &sessions); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	sessions[*label] = rec
+
+	data, err := json.MarshalIndent(sessions, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks under %q in %s\n",
+		len(rec.Benchmarks), *label, *out)
+	return nil
+}
+
+// parse scans go-test output, echoing every line to echo (so the tool
+// can sit at the end of a pipe without swallowing the report) and
+// collecting benchmark lines.
+func parse(r io.Reader, echo io.Writer) (*Record, error) {
+	rec := &Record{
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string][]Run{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so labels stay comparable across
+		// hosts ("BenchmarkE3-8" and "BenchmarkE3" are the same series).
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		run := Run{Iterations: iters, Metrics: map[string]float64{}}
+		for k := 2; k+1 < len(fields); k += 2 {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				break
+			}
+			run.Metrics[fields[k+1]] = v
+		}
+		if len(run.Metrics) == 0 {
+			continue
+		}
+		rec.Benchmarks[name] = append(rec.Benchmarks[name], run)
+	}
+	return rec, sc.Err()
+}

@@ -59,7 +59,15 @@ func run() error {
 	var scores lmmrank.Vector
 	switch *method {
 	case "layered":
-		res, err := lmmrank.LayeredDocRank(dg, webCfg)
+		// The Ranker precomputes the serving structure; a long-lived
+		// process would keep it and answer repeated queries from it.
+		rk, err := lmmrank.NewRanker(dg, lmmrank.RankerOptions{
+			SiteGraph: webCfg.SiteGraph,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := rk.Rank(webCfg)
 		if err != nil {
 			return err
 		}

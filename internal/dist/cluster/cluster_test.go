@@ -212,3 +212,39 @@ func TestMoreWorkersThanSites(t *testing.T) {
 		t.Errorf("L1 gap %g with idle workers", d)
 	}
 }
+
+// TestRankPrepared reuses one precomputed lmm.Ranker across several
+// distributed runs (the serving path): every run must reproduce the
+// one-shot Rank bitwise, in both SiteRank modes.
+func TestRankPrepared(t *testing.T) {
+	web := testWeb()
+	rk, err := lmm.NewRanker(web.Graph, lmm.RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	cl, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+
+	for _, distSite := range []bool{false, true} {
+		cfg := coordinator.Config{DistributedSiteRank: distSite}
+		oneShot, err := cl.Coord.Rank(web.Graph, cfg)
+		if err != nil {
+			t.Fatalf("Rank (distSite=%v): %v", distSite, err)
+		}
+		for run := 0; run < 2; run++ {
+			res, err := cl.Coord.RankPrepared(rk, cfg)
+			if err != nil {
+				t.Fatalf("RankPrepared (distSite=%v, run %d): %v", distSite, run, err)
+			}
+			if d := res.DocRank.L1Diff(oneShot.DocRank); d != 0 {
+				t.Errorf("distSite=%v run %d: DocRank differs from one-shot Rank by %g", distSite, run, d)
+			}
+			if d := res.SiteRank.L1Diff(oneShot.SiteRank); d != 0 {
+				t.Errorf("distSite=%v run %d: SiteRank differs by %g", distSite, run, d)
+			}
+		}
+	}
+}

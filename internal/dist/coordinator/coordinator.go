@@ -32,7 +32,10 @@ const DefaultCallTimeout = 2 * time.Minute
 
 // Config parameterizes one distributed ranking run.
 type Config struct {
-	// Damping is the PageRank damping factor / gatekeeper α (0 = 0.85).
+	// Damping is the PageRank damping factor / gatekeeper α. Zero is a
+	// sentinel selecting pagerank.DefaultDamping (0.85); an explicit
+	// damping of exactly 0 cannot be requested, while tiny positive
+	// values are honored as given.
 	Damping float64
 	// Tol and MaxIter bound every power run, local and site-level
 	// (0 = package matrix defaults).
@@ -271,20 +274,42 @@ func (c *Coordinator) broadcastErr(fn func(idx int, r *remote) error) error {
 // Rank executes the distributed Layered Method on dg: partition sites
 // over the fleet, ship shards, rank locally on the peers, compute the
 // SiteRank, and compose the global DocRank per the Partition Theorem.
+//
+// It builds a throwaway lmm.Ranker for the run; callers ranking the same
+// graph repeatedly should precompute one and call RankPrepared, which
+// skips the SiteGraph derivation and subgraph extraction entirely.
 func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
+	// Build the Ranker under runMu: NewRanker dedupes the shared graph
+	// (a mutation), and concurrent Rank calls are allowed as long as
+	// runMu serializes them.
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
+	rk, err := lmm.NewRanker(dg, lmm.RankerOptions{SiteGraph: cfg.SiteGraph})
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	return c.rankPrepared(rk, cfg)
+}
+
+// RankPrepared is Rank over a precomputed lmm.Ranker: the SiteGraph and
+// all local subgraphs come from the Ranker's one-time precomputation, so
+// repeated runs over the same graph only pay for shipping and ranking.
+// cfg.SiteGraph is ignored — that choice was fixed when the Ranker was
+// built. The Ranker must not be used concurrently by another goroutine
+// while a run is in flight.
+func (c *Coordinator) RankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	return c.rankPrepared(rk, cfg)
+}
+
+// rankPrepared runs one ranking; the caller holds runMu.
+func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
 		return nil, errors.New("coordinator: closed")
-	}
-	if err := dg.Validate(); err != nil {
-		return nil, fmt.Errorf("coordinator: %w", err)
-	}
-	if dg.NumDocs() == 0 {
-		return nil, errors.New("coordinator: empty graph")
 	}
 	// Validate damping up front so the distributed SiteRank path rejects
 	// bad values exactly like the central pagerank path does.
@@ -294,10 +319,11 @@ func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 
 	startMsgs, startOut, startIn := c.counters.Messages(), c.counters.BytesSent(), c.counters.BytesReceived()
 	res := &Result{}
+	dg := rk.DocGraph()
 	ns := dg.NumSites()
 
-	// Steps 1–2: derive the SiteGraph and its row-stochastic rows.
-	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
+	// Steps 1–2 were precomputed by the Ranker.
+	sg := rk.SiteGraph()
 
 	// Partition and ship. Site s goes to worker s mod N — deterministic
 	// and roughly balanced for the near-uniform site sizes of campus
@@ -309,7 +335,7 @@ func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
-	batches := c.partition(dg, sg, cfg)
+	batches := c.partition(rk, sg, cfg)
 	if err := c.broadcastErr(func(idx int, r *remote) error {
 		// Even shardless workers get a Load so they learn the site-space
 		// dimension and can answer power rounds with a zero partial.
@@ -385,16 +411,18 @@ func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 		}
 		res.Stats.SiteRankRounds = rounds
 	} else {
-		pr, err := pagerank.Graph(sg.G, pagerank.Config{
+		scores, rounds, err := rk.RankSites(lmm.WebConfig{
 			Damping: cfg.Damping,
 			Tol:     cfg.Tol,
 			MaxIter: cfg.MaxIter,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("coordinator: siterank: %w", err)
+			return nil, fmt.Errorf("coordinator: %w", err)
 		}
-		siteRank = pr.Scores
-		res.Stats.SiteRankRounds = pr.Iterations
+		// RankSites aliases the Ranker's scratch; the Result outlives
+		// this run, so copy the small site vector out.
+		siteRank = scores.Clone()
+		res.Stats.SiteRankRounds = rounds
 	}
 	res.Stats.SiteRankDuration = time.Since(siteStart)
 
@@ -410,15 +438,16 @@ func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// partition builds each worker's shard batch: for site s, the local
-// subgraph G^s_d in compact local indices — plus row s of the
-// normalized site transition matrix, but only when the decentralized
-// SiteRank will consume it (central mode skips that wire cost).
-func (c *Coordinator) partition(dg *graph.DocGraph, sg *graph.SiteGraph, cfg Config) [][]wire.SiteShard {
+// partition builds each worker's shard batch: for site s, the Ranker's
+// precomputed local subgraph G^s_d in compact local indices — plus row s
+// of the normalized site transition matrix, but only when the
+// decentralized SiteRank will consume it (central mode skips that wire
+// cost).
+func (c *Coordinator) partition(rk *lmm.Ranker, sg *graph.SiteGraph, cfg Config) [][]wire.SiteShard {
 	nw := len(c.workers)
 	batches := make([][]wire.SiteShard, nw)
-	for s := 0; s < dg.NumSites(); s++ {
-		sub, _ := dg.LocalSubgraph(graph.SiteID(s))
+	for s := 0; s < rk.NumSites(); s++ {
+		sub, _ := rk.LocalSubgraph(graph.SiteID(s))
 		shard := wire.SiteShard{
 			Site:    s,
 			NumDocs: sub.NumNodes(),

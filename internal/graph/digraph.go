@@ -21,9 +21,18 @@ type Edge struct {
 // Digraph is a weighted directed graph over nodes 0..N-1 with adjacency
 // stored per source node. The zero value is an empty graph; grow it with
 // EnsureNodes and AddEdge.
+//
+// A Digraph is not safe for concurrent mutation. Note that Dedupe,
+// OutDegree and TransitionMatrix mutate internal state (merging edges,
+// caching the transition matrix); share a graph across goroutines only
+// after calling Dedupe and TransitionMatrix on it first, so the parallel
+// phase is read-only.
 type Digraph struct {
 	out     [][]Edge
 	deduped bool
+	// trans caches TransitionMatrix; any mutation (AddEdge, EnsureNodes
+	// growth) invalidates it.
+	trans *matrix.CSR
 }
 
 // NewDigraph returns a graph with n isolated nodes.
@@ -49,6 +58,9 @@ func (g *Digraph) NumEdges() int {
 
 // EnsureNodes grows the graph so that it has at least n nodes.
 func (g *Digraph) EnsureNodes(n int) {
+	if len(g.out) < n {
+		g.trans = nil
+	}
 	for len(g.out) < n {
 		g.out = append(g.out, nil)
 	}
@@ -66,6 +78,7 @@ func (g *Digraph) AddEdge(from, to int, weight float64) {
 	}
 	g.out[from] = append(g.out[from], Edge{To: to, Weight: weight})
 	g.deduped = false
+	g.trans = nil
 }
 
 // AddLink adds a unit-weight edge, the common case for one hyperlink.
@@ -178,22 +191,37 @@ func (g *Digraph) Dangling() []int {
 // out-edges proportionally to edge weight. Dangling rows are left all-zero;
 // downstream irreducibility adjustments (package markov, pagerank) decide
 // how to treat them, as in the paper's Mˆ(G).
+//
+// Because Dedupe leaves every adjacency list sorted and merged, the CSR is
+// assembled directly from the lists — no triple round-trip, no re-sort.
+// The matrix is cached until the next mutation; callers share the returned
+// value and must treat it as read-only.
 func (g *Digraph) TransitionMatrix() *matrix.CSR {
+	if g.trans != nil {
+		return g.trans
+	}
 	g.Dedupe()
-	triples := make([]matrix.Triple, 0, g.NumEdges())
+	n := len(g.out)
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, g.NumEdges())
+	val := make([]float64, len(colIdx))
+	p := 0
 	for i, es := range g.out {
 		var total float64
 		for _, e := range es {
 			total += e.Weight
 		}
-		if total == 0 {
-			continue
+		if total > 0 {
+			for _, e := range es {
+				colIdx[p] = e.To
+				val[p] = e.Weight / total
+				p++
+			}
 		}
-		for _, e := range es {
-			triples = append(triples, matrix.Triple{Row: i, Col: e.To, Val: e.Weight / total})
-		}
+		rowPtr[i+1] = p
 	}
-	return matrix.NewCSR(len(g.out), triples)
+	g.trans = matrix.NewCSRFromSorted(n, rowPtr, colIdx[:p], val[:p])
+	return g.trans
 }
 
 // TransitionDense is TransitionMatrix materialized densely, for the small

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"net/url"
+	"sort"
 	"strings"
 )
 
@@ -87,40 +88,126 @@ func (dg *DocGraph) Validate() error {
 // restricted to edges whose both endpoints are local documents of s (§3.1).
 // The returned LocalIndex maps between global DocIDs and the compact local
 // node indices of the subgraph.
+//
+// The site membership test is the O(1) Docs[d].Site field — no
+// hashing. Local indices come from a dense table when the site is a
+// large fraction of the graph (the table amortizes), or binary search
+// over the ascending roster otherwise, so extraction never does
+// O(graph) work for a small site. The parent graph is deduplicated
+// first (a mutation — dedupe before fanning LocalSubgraph calls across
+// goroutines); the extracted subgraph inherits the sorted, merged rows
+// and skips its own dedupe pass.
 func (dg *DocGraph) LocalSubgraph(s SiteID) (*Digraph, *LocalIndex) {
+	dg.G.Dedupe()
 	docs := dg.Sites[s].Docs
-	idx := &LocalIndex{
-		ToGlobal: append([]DocID(nil), docs...),
-		toLocal:  make(map[DocID]int, len(docs)),
+	idx := &LocalIndex{ToGlobal: append([]DocID(nil), docs...)}
+	ascending := true
+	for i := 1; i < len(docs); i++ {
+		if docs[i-1] >= docs[i] {
+			ascending = false
+			break
+		}
 	}
-	for i, d := range docs {
-		idx.toLocal[d] = i
+	// Dense table: required for non-ascending rosters (binary search
+	// does not apply) and worthwhile when the site covers a sizeable
+	// share of the graph; small sites use binary search instead of
+	// zeroing an O(graph) slice.
+	var table []int32
+	if !ascending || len(docs) >= len(dg.Docs)/8 {
+		table = make([]int32, len(dg.Docs))
+		for i, d := range docs {
+			table[d] = int32(i)
+		}
 	}
-	sub := NewDigraph(len(docs))
+	if !ascending {
+		idx.table = table
+	}
+	localOf := func(d int) int {
+		if table != nil {
+			return int(table[d])
+		}
+		g := idx.ToGlobal
+		lo, hi := 0, len(g)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g[mid] < DocID(d) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	// Pass 1: count each local node's surviving out-edges.
+	n := len(docs)
+	counts := make([]int, n)
+	total := 0
 	for i, d := range docs {
+		c := 0
 		dg.G.EachEdge(int(d), func(e Edge) {
-			if j, ok := idx.toLocal[DocID(e.To)]; ok {
-				sub.AddEdge(i, j, e.Weight)
+			if dg.Docs[e.To].Site == s {
+				c++
 			}
 		})
+		counts[i] = c
+		total += c
 	}
+
+	// Pass 2: fill one shared backing slice, one slot per local node.
+	sub := NewDigraph(n)
+	backing := make([]Edge, total)
+	p := 0
+	for i, d := range docs {
+		row := backing[p : p : p+counts[i]]
+		dg.G.EachEdge(int(d), func(e Edge) {
+			if dg.Docs[e.To].Site == s {
+				row = append(row, Edge{To: localOf(e.To), Weight: e.Weight})
+			}
+		})
+		sub.out[i] = row
+		p += counts[i]
+	}
+	// Parent rows are sorted by ascending global target; when the site
+	// roster is ascending too (the builder invariant) the local rows stay
+	// sorted and merged, so the subgraph is born deduplicated.
+	sub.deduped = ascending && dg.G.deduped
 	sub.Dedupe()
 	return sub, idx
 }
 
 // LocalIndex maps between global document IDs and the local node indices
-// of one site's subgraph.
+// of one site's subgraph. It holds no reference to the DocGraph, so a
+// retained index costs O(site) memory — except for the rare
+// non-ascending hand-built roster, which keeps the O(graph) table.
 type LocalIndex struct {
 	// ToGlobal[i] is the DocID of local node i.
 	ToGlobal []DocID
-	toLocal  map[DocID]int
+	// table is non-nil only for non-ascending rosters, where the binary
+	// search over ToGlobal does not apply.
+	table []int32
 }
 
 // ToLocal returns the local index of global document d and whether d
 // belongs to this site.
 func (ix *LocalIndex) ToLocal(d DocID) (int, bool) {
-	i, ok := ix.toLocal[d]
-	return i, ok
+	if int(d) < 0 {
+		return 0, false
+	}
+	if ix.table != nil {
+		if int(d) >= len(ix.table) {
+			return 0, false
+		}
+		if i := int(ix.table[d]); i < len(ix.ToGlobal) && ix.ToGlobal[i] == d {
+			return i, true
+		}
+		return 0, false
+	}
+	i := sort.Search(len(ix.ToGlobal), func(k int) bool { return ix.ToGlobal[k] >= d })
+	if i < len(ix.ToGlobal) && ix.ToGlobal[i] == d {
+		return i, true
+	}
+	return 0, false
 }
 
 // Len returns the number of local documents.

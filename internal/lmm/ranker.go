@@ -1,0 +1,234 @@
+package lmm
+
+import (
+	"fmt"
+	"runtime"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// RankerOptions fixes the graph-derivation choices a Ranker precomputes.
+type RankerOptions struct {
+	// SiteGraph controls SiteLink aggregation (§3.1). It is baked into
+	// the precomputed structure — build a new Ranker to change it.
+	SiteGraph graph.SiteGraphOptions
+}
+
+// rankerSite is the precomputed serving state of one site: its local
+// subgraph, index, and a reusable PageRank solver. The solver (and the
+// CSR transition matrix inside it) is built lazily on the first Rank —
+// consumers of the structure alone, like the distributed coordinator
+// shipping edge lists to workers, never pay for it. fixed is the
+// constant local rank of 0/1-doc sites, which need no solver at all.
+type rankerSite struct {
+	sub    *graph.Digraph
+	idx    *graph.LocalIndex
+	solver *pagerank.Solver
+	fixed  matrix.Vector
+}
+
+// Ranker is the serving-path form of the §3.2 pipeline: NewRanker
+// derives the SiteGraph and every local subgraph G^s_d once (the first
+// Rank adds the per-site transition matrices and solvers), then Rank
+// answers repeated queries — uniform or personalized at either layer —
+// with near-zero setup cost and no steady-state allocations beyond the
+// returned WebResult header.
+//
+// That asymmetry is the point of the Layered Method: the expensive
+// structure (CSR matrices, dangling lists, scratch vectors) depends only
+// on the graph, while a query merely reruns small power iterations over
+// it. Personalized rankings (§3.2's two-layer personalization) therefore
+// cost the same as uniform ones.
+//
+// A Ranker is not safe for concurrent use: Rank reuses internal scratch.
+// The vectors inside a returned WebResult alias that scratch and are
+// valid only until the next Rank call on the same Ranker — clone them
+// (or use the one-shot LayeredDocRank) to retain results.
+//
+// The Ranker captures dg by reference. Mutating the graph afterwards
+// (adding documents, links or sites) invalidates the precomputed
+// structure; build a new Ranker after any mutation.
+type Ranker struct {
+	dg    *graph.DocGraph
+	sg    *graph.SiteGraph
+	sites []rankerSite
+
+	siteSolver *pagerank.Solver
+
+	// Reusable result buffers, rewritten by every Rank.
+	docRank    matrix.Vector
+	localRanks []matrix.Vector
+	localIters []int
+	errs       []error
+}
+
+// NewRanker validates and precomputes the layered ranking structure of
+// dg: the SiteGraph, its transition matrix and solver, and all local
+// subgraphs (their CSR matrices and solvers follow on the first Rank,
+// so structure-only consumers like the distributed coordinator skip
+// that cost). The DocGraph's digraph is deduplicated up front, so the
+// per-query phase never mutates shared graph state.
+func NewRanker(dg *graph.DocGraph, opts RankerOptions) (*Ranker, error) {
+	if err := dg.Validate(); err != nil {
+		return nil, fmt.Errorf("lmm: ranker: %w", err)
+	}
+	if dg.NumDocs() == 0 {
+		return nil, fmt.Errorf("lmm: ranker: empty graph")
+	}
+	dg.G.Dedupe()
+
+	r := &Ranker{
+		dg:    dg,
+		sg:    graph.DeriveSiteGraph(dg, opts.SiteGraph),
+		sites: make([]rankerSite, dg.NumSites()),
+	}
+	// Extraction fans out across sites: the graph was deduplicated
+	// above, so every LocalSubgraph call reads shared state and writes
+	// only its own r.sites slot.
+	forEachParallel(len(r.sites), 0, func(s int) {
+		sub, idx := dg.LocalSubgraph(graph.SiteID(s))
+		st := rankerSite{sub: sub, idx: idx}
+		switch sub.NumNodes() {
+		case 0:
+			st.fixed = matrix.Vector{}
+		case 1:
+			// A single-document site trivially holds all local mass.
+			st.fixed = matrix.Vector{1}
+		}
+		r.sites[s] = st
+	})
+	return r, nil
+}
+
+// DocGraph returns the graph this Ranker serves.
+func (r *Ranker) DocGraph() *graph.DocGraph { return r.dg }
+
+// SiteGraph returns the precomputed site-level aggregation.
+func (r *Ranker) SiteGraph() *graph.SiteGraph { return r.sg }
+
+// NumSites returns the number of sites.
+func (r *Ranker) NumSites() int { return len(r.sites) }
+
+// LocalSubgraph returns site s's precomputed subgraph and index. Callers
+// must treat both as read-only.
+func (r *Ranker) LocalSubgraph(s graph.SiteID) (*graph.Digraph, *graph.LocalIndex) {
+	return r.sites[s].sub, r.sites[s].idx
+}
+
+// RankSites computes only the site layer πS = PageRank(Mˆ(G_S)) — the
+// piece a distributed coordinator runs centrally while the fleet ranks
+// documents. The returned vector aliases solver scratch (valid until the
+// next RankSites/Rank call); the int is the power-iteration count.
+func (r *Ranker) RankSites(cfg WebConfig) (matrix.Vector, int, error) {
+	if r.siteSolver == nil {
+		r.siteSolver = pagerank.NewSolver(r.sg.G.TransitionMatrix())
+	}
+	res, err := r.siteSolver.Solve(pagerank.Config{
+		Damping:         cfg.Damping,
+		Personalization: cfg.SitePersonalization,
+		Tol:             cfg.Tol,
+		MaxIter:         cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("lmm: siterank: %w", err)
+	}
+	return res.Scores, res.Iterations, nil
+}
+
+// Rank executes the query phase of §3.2 against the precomputed
+// structure: SiteRank, per-site local DocRanks (in parallel when
+// cfg.Parallelism allows), and the Partition-Theorem composition.
+// cfg.SiteGraph is ignored — that choice was fixed at NewRanker time.
+//
+// The returned WebResult's vectors alias the Ranker's internal buffers;
+// see the type comment for the reuse contract.
+func (r *Ranker) Rank(cfg WebConfig) (*WebResult, error) {
+	// Query-phase state is built on first use, so structure-only
+	// consumers (the distributed coordinator ships subgraphs to workers
+	// and never ranks locally) don't pay for result buffers.
+	if r.docRank == nil {
+		r.docRank = matrix.NewVector(r.dg.NumDocs())
+		r.localRanks = make([]matrix.Vector, len(r.sites))
+		r.localIters = make([]int, len(r.sites))
+		r.errs = make([]error, len(r.sites))
+	}
+	siteRank, siteIters, err := r.RankSites(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Local DocRanks: every site solver is independent, so the loop is
+	// data-parallel; the single-worker case runs a plain loop — no
+	// goroutines, no closure, no allocations.
+	errs := r.errs
+	for s := range errs {
+		errs[s] = nil
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		for s := range r.sites {
+			r.rankLocal(s, &cfg)
+		}
+	} else {
+		// The closure must capture a block-local copy: capturing cfg
+		// itself would force it onto the heap for the serial path too,
+		// breaking the zero-allocation budget.
+		c := cfg
+		forEachParallel(len(r.sites), workers, func(s int) {
+			r.rankLocal(s, &c)
+		})
+	}
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("lmm: local docrank of site %d (%s): %w",
+				s, r.dg.Sites[s].Name, err)
+		}
+	}
+
+	composeDocRankInto(r.docRank, r.dg, siteRank, r.localRanks)
+	return &WebResult{
+		DocRank:         r.docRank,
+		SiteRank:        siteRank,
+		LocalRanks:      r.localRanks,
+		SiteIterations:  siteIters,
+		LocalIterations: r.localIters,
+	}, nil
+}
+
+// rankLocal solves one site's local DocRank into the Ranker's reusable
+// buffers (step 3 of §3.2 for one site).
+func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
+	st := &r.sites[s]
+	if st.fixed != nil {
+		r.localRanks[s] = st.fixed
+		r.localIters[s] = 0
+		return
+	}
+	if st.solver == nil {
+		// First query builds the site's CSR and solver; each site is
+		// owned by exactly one goroutine of the fan-out, and the
+		// barrier at its end publishes the solver for later queries.
+		st.solver = pagerank.NewSolver(st.sub.TransitionMatrix())
+	}
+	var pers matrix.Vector
+	if cfg.DocPersonalization != nil {
+		pers = cfg.DocPersonalization[graph.SiteID(s)]
+	}
+	res, err := st.solver.Solve(pagerank.Config{
+		Damping:         cfg.Damping,
+		Personalization: pers,
+		Tol:             cfg.Tol,
+		MaxIter:         cfg.MaxIter,
+	})
+	if err != nil {
+		r.errs[s] = err
+		return
+	}
+	r.localRanks[s] = res.Scores
+	r.localIters[s] = res.Iterations
+}

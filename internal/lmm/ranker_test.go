@@ -1,0 +1,280 @@
+package lmm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// referenceLayeredDocRank recomputes the §3.2 pipeline from its building
+// blocks, independently of Ranker's precomputation and buffer reuse: a
+// fresh SiteGraph, fresh subgraphs, fresh pagerank solves. Combined with
+// the kernel-level bitwise tests in internal/matrix and
+// internal/pagerank, agreement here pins the whole refactored pipeline
+// to the pre-optimization semantics.
+func referenceLayeredDocRank(dg *graph.DocGraph, cfg WebConfig) (*WebResult, error) {
+	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
+	siteRes, err := pagerank.Sparse(sg.G.TransitionMatrix(), pagerank.Config{
+		Damping:         cfg.Damping,
+		Personalization: cfg.SitePersonalization,
+		Tol:             cfg.Tol,
+		MaxIter:         cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	local := make([]matrix.Vector, dg.NumSites())
+	for s := range local {
+		switch dg.SiteSize(graph.SiteID(s)) {
+		case 0:
+			local[s] = matrix.Vector{}
+		case 1:
+			local[s] = matrix.Vector{1}
+		default:
+			sub, _ := dg.LocalSubgraph(graph.SiteID(s))
+			var pers matrix.Vector
+			if cfg.DocPersonalization != nil {
+				pers = cfg.DocPersonalization[graph.SiteID(s)]
+			}
+			res, err := pagerank.Sparse(sub.TransitionMatrix(), pagerank.Config{
+				Damping:         cfg.Damping,
+				Personalization: pers,
+				Tol:             cfg.Tol,
+				MaxIter:         cfg.MaxIter,
+			})
+			if err != nil {
+				return nil, err
+			}
+			local[s] = res.Scores
+		}
+	}
+	return &WebResult{
+		DocRank:    ComposeDocRank(dg, siteRes.Scores, local),
+		SiteRank:   siteRes.Scores,
+		LocalRanks: local,
+	}, nil
+}
+
+func TestRankerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		dg := randomWeb(rng, rng.Intn(8)+2, rng.Intn(60)+5)
+		want, err := referenceLayeredDocRank(dg, WebConfig{})
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		r, err := NewRanker(dg, RankerOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: NewRanker: %v", trial, err)
+		}
+		got, err := r.Rank(WebConfig{})
+		if err != nil {
+			t.Fatalf("trial %d: Rank: %v", trial, err)
+		}
+		if got.DocRank.L1Diff(want.DocRank) != 0 {
+			t.Fatalf("trial %d: DocRank differs from reference by %g",
+				trial, got.DocRank.L1Diff(want.DocRank))
+		}
+		if got.SiteRank.L1Diff(want.SiteRank) != 0 {
+			t.Fatalf("trial %d: SiteRank differs", trial)
+		}
+	}
+}
+
+func TestRankerRepeatedQueriesStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	dg := randomWeb(rng, 6, 80)
+	r, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Rank(WebConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.DocRank.Clone()
+	for i := 0; i < 5; i++ {
+		res, err := r.Rank(WebConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DocRank.L1Diff(want) != 0 {
+			t.Fatalf("repeat %d drifted by %g", i, res.DocRank.L1Diff(want))
+		}
+	}
+}
+
+// The E8 serving scenario: one precomputed Ranker answering alternating
+// uniform and personalized queries, each matching a fresh one-shot
+// pipeline bitwise — scratch reuse must not leak state across queries.
+func TestRankerPersonalizedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	dg := randomWeb(rng, 5, 70)
+	r, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sitePers := matrix.NewVector(dg.NumSites())
+	for i := range sitePers {
+		sitePers[i] = rng.Float64() + 0.01
+	}
+	sitePers.Normalize()
+	docPers := map[graph.SiteID]matrix.Vector{}
+	for s := 0; s < dg.NumSites(); s++ {
+		if n := dg.SiteSize(graph.SiteID(s)); n > 1 {
+			v := matrix.NewVector(n)
+			for i := range v {
+				v[i] = rng.Float64() + 0.01
+			}
+			docPers[graph.SiteID(s)] = v.Normalize()
+			break
+		}
+	}
+
+	configs := []WebConfig{
+		{},
+		{SitePersonalization: sitePers},
+		{DocPersonalization: docPers},
+		{},
+		{SitePersonalization: sitePers, DocPersonalization: docPers},
+	}
+	for i, cfg := range configs {
+		got, err := r.Rank(cfg)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want, err := LayeredDocRank(dg, cfg)
+		if err != nil {
+			t.Fatalf("query %d reference: %v", i, err)
+		}
+		if got.DocRank.L1Diff(want.DocRank) != 0 {
+			t.Fatalf("query %d differs from one-shot pipeline by %g",
+				i, got.DocRank.L1Diff(want.DocRank))
+		}
+	}
+}
+
+// Steady-state Rank performs no allocations beyond the WebResult header:
+// every solver, scratch vector and result buffer was precomputed.
+func TestRankerRankAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	dg := randomWeb(rng, 10, 300)
+	r, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WebConfig{Parallelism: 1}
+	if _, err := r.Rank(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var rankErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		_, rankErr = r.Rank(cfg)
+	})
+	if rankErr != nil {
+		t.Fatal(rankErr)
+	}
+	if allocs > 1 {
+		t.Errorf("Rank allocates %.1f per query, budget is 1 (the WebResult header)", allocs)
+	}
+}
+
+// undedupedWeb hand-builds a DocGraph whose digraph still holds
+// duplicate parallel edges — the state a crawler-fed graph is in before
+// anyone calls Dedupe. (The Builder dedupes at Build, so this must be
+// constructed manually.)
+func undedupedWeb(rng *rand.Rand, nSites, nDocs int) *graph.DocGraph {
+	g := graph.NewDigraph(nDocs)
+	for e := 0; e < nDocs*4; e++ {
+		from := rng.Intn(nDocs)
+		g.AddLink(from, rng.Intn(nDocs))
+		g.AddLink(from, rng.Intn(nDocs)) // extra parallel edges
+	}
+	docs := make([]graph.Doc, nDocs)
+	sites := make([]graph.Site, nSites)
+	for s := range sites {
+		sites[s].Name = fmt.Sprintf("s%d.example", s)
+	}
+	for d := range docs {
+		s := d % nSites
+		docs[d] = graph.Doc{URL: fmt.Sprintf("http://s%d.example/p%d", s, d), Site: graph.SiteID(s)}
+		sites[s].Docs = append(sites[s].Docs, graph.DocID(d))
+	}
+	return &graph.DocGraph{G: g, Docs: docs, Sites: sites}
+}
+
+// Regression for the latent data race: the parallel pipelines used to
+// reach Dedupe (a mutation) on the shared digraph from concurrent
+// goroutines when handed an undeduped graph. The entry points now dedupe
+// once up front; run with -race to verify (make race covers this
+// package).
+func TestParallelPipelinesOnUndedupedGraphRaceFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+
+	dg := undedupedWeb(rng, 6, 120)
+	if err := dg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := LayeredDocRank(dg, WebConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DocRank.IsDistribution(1e-7) {
+		t.Error("layered DocRank not a distribution")
+	}
+
+	dg3 := undedupedWeb(rng, 6, 120)
+	if _, err := LayeredDocRank3(dg3, nil, WebConfig{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// RankSubgraphs with an aliased, undeduped subgraph: the serial
+	// prep must dedupe and build the shared transition matrix before
+	// the fan-out.
+	sub := graph.NewDigraph(20)
+	for e := 0; e < 80; e++ {
+		sub.AddLink(rng.Intn(20), rng.Intn(20))
+	}
+	ranks, _, err := RankSubgraphs([]*graph.Digraph{sub, sub, sub, sub}, WebConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i].L1Diff(ranks[0]) != 0 {
+			t.Errorf("aliased subgraph rank %d differs", i)
+		}
+	}
+}
+
+// Pin the WebConfig damping sentinel: zero selects 0.85 exactly, tiny
+// explicit values are honored, out-of-range damping errors.
+func TestWebConfigDampingZeroSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	dg := randomWeb(rng, 4, 50)
+
+	zero, err1 := LayeredDocRank(dg, WebConfig{Damping: 0})
+	def, err2 := LayeredDocRank(dg, WebConfig{Damping: pagerank.DefaultDamping})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v / %v", err1, err2)
+	}
+	if zero.DocRank.L1Diff(def.DocRank) != 0 {
+		t.Error("WebConfig{Damping: 0} is not identical to explicit 0.85")
+	}
+
+	tiny, err := LayeredDocRank(dg, WebConfig{Damping: 1e-6})
+	if err != nil {
+		t.Fatalf("tiny damping rejected: %v", err)
+	}
+	if tiny.DocRank.L1Diff(def.DocRank) == 0 {
+		t.Error("tiny damping silently reinterpreted as default")
+	}
+
+	if _, err := LayeredDocRank(dg, WebConfig{Damping: 1.5}); err == nil {
+		t.Error("damping 1.5 accepted")
+	}
+}

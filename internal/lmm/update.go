@@ -33,6 +33,10 @@ func UpdateLayeredDocRank(dg *graph.DocGraph, prev *WebResult, changed []graph.S
 	if prev == nil {
 		return nil, fmt.Errorf("lmm: update: nil previous result")
 	}
+	// Dedupe up front so the per-site ranking below operates on merged,
+	// read-only adjacency — the same entry-point contract as the full
+	// pipeline.
+	dg.G.Dedupe()
 	if dg.NumSites() < len(prev.LocalRanks) {
 		return nil, fmt.Errorf("%w: graph has %d sites, previous result %d (sites removed?)",
 			ErrStaleResult, dg.NumSites(), len(prev.LocalRanks))

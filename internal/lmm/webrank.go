@@ -13,7 +13,10 @@ import (
 // WebConfig parameterizes the §3.2 pipeline ("Layered Method for
 // DocRank") on a DocGraph.
 type WebConfig struct {
-	// Damping is the PageRank damping factor / gatekeeper α (0 = 0.85).
+	// Damping is the PageRank damping factor / gatekeeper α. Zero is a
+	// sentinel selecting pagerank.DefaultDamping (0.85) — an explicit
+	// damping of exactly 0 cannot be requested (it would make the chain
+	// pure teleport anyway); tiny positive values are honored as given.
 	Damping float64
 	// Tol and MaxIter bound each power-method run (0 = package defaults).
 	Tol     float64
@@ -55,43 +58,18 @@ type WebResult struct {
 // compute each site's local DocRank πD(s) = PageRank(Mˆ(G^s_d))
 // independently (in parallel), and compose the global DocRank by the
 // Partition Theorem.
+//
+// It is the one-shot form of Ranker: a throwaway Ranker is built and
+// queried once, so the returned WebResult is safe to retain. Callers
+// ranking the same graph repeatedly (serving, personalization sweeps)
+// should hold a Ranker instead and skip the per-call precomputation.
 func LayeredDocRank(dg *graph.DocGraph, cfg WebConfig) (*WebResult, error) {
-	if err := dg.Validate(); err != nil {
-		return nil, fmt.Errorf("lmm: layered docrank: %w", err)
-	}
-	if dg.NumDocs() == 0 {
-		return nil, fmt.Errorf("lmm: layered docrank: empty graph")
-	}
-
-	// Steps 1–2: SiteGraph derivation.
-	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
-
-	// Step 4 (independent of step 3, so run it first — its result is
-	// small and needed for composition either way): SiteRank.
-	siteRes, err := pagerank.Graph(sg.G, pagerank.Config{
-		Damping:         cfg.Damping,
-		Personalization: cfg.SitePersonalization,
-		Tol:             cfg.Tol,
-		MaxIter:         cfg.MaxIter,
-	})
+	r, err := NewRanker(dg, RankerOptions{SiteGraph: cfg.SiteGraph})
 	if err != nil {
-		return nil, fmt.Errorf("lmm: siterank: %w", err)
-	}
-
-	// Step 3: local DocRanks, one per site, in parallel.
-	local, localIters, err := localDocRanks(dg, cfg)
-	if err != nil {
+		// NewRanker errors carry their own "lmm: ranker:" prefix.
 		return nil, err
 	}
-
-	// Step 5: weighted composition.
-	return &WebResult{
-		DocRank:         ComposeDocRank(dg, siteRes.Scores, local),
-		SiteRank:        siteRes.Scores,
-		LocalRanks:      local,
-		SiteIterations:  siteRes.Iterations,
-		LocalIterations: localIters,
-	}, nil
+	return r.Rank(cfg)
 }
 
 // ComposeDocRank applies the Partition Theorem's composition (§3.2 step
@@ -102,13 +80,19 @@ func LayeredDocRank(dg *graph.DocGraph, cfg WebConfig) (*WebResult, error) {
 // the composition step cannot diverge between them.
 func ComposeDocRank(dg *graph.DocGraph, siteWeights matrix.Vector, localRanks []matrix.Vector) matrix.Vector {
 	out := matrix.NewVector(dg.NumDocs())
+	composeDocRankInto(out, dg, siteWeights, localRanks)
+	return out
+}
+
+// composeDocRankInto is ComposeDocRank writing into a caller-owned
+// vector, the allocation-free form Ranker.Rank reuses every query.
+func composeDocRankInto(out matrix.Vector, dg *graph.DocGraph, siteWeights matrix.Vector, localRanks []matrix.Vector) {
 	for s := range dg.Sites {
 		w := siteWeights[s]
 		for i, d := range dg.Sites[s].Docs {
 			out[d] = w * localRanks[s][i]
 		}
 	}
-	return out
 }
 
 // localDocRanks computes πD(s) for every site concurrently.
@@ -132,13 +116,21 @@ func localDocRanks(dg *graph.DocGraph, cfg WebConfig) ([]matrix.Vector, []int, e
 }
 
 // forEachParallel runs fn(i) for every i in [0,n) across a capped
-// goroutine pool (workers <= 0 selects GOMAXPROCS).
+// goroutine pool (workers <= 0 selects GOMAXPROCS). A single worker
+// runs inline: no goroutines, no channel, no allocations — the shape
+// the steady-state serving path relies on at GOMAXPROCS = 1.
 func forEachParallel(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -165,6 +157,22 @@ func forEachParallel(n, workers int, fn func(i int)) {
 // callers can attribute the batch index to their own naming (site IDs,
 // hostnames).
 func RankSubgraphs(subs []*graph.Digraph, cfg WebConfig) ([]matrix.Vector, []int, error) {
+	// Dedupe and transition-matrix construction mutate the graph, so a
+	// subgraph repeated across entries must be prepared serially before
+	// the fan-out. Distinct graphs — the only shape real callers pass —
+	// keep their construction inside the parallel phase.
+	seen := make(map[*graph.Digraph]int, len(subs))
+	for _, sub := range subs {
+		seen[sub]++
+	}
+	for sub, n := range seen {
+		if n > 1 {
+			sub.Dedupe()
+			if sub.NumNodes() > 0 {
+				sub.TransitionMatrix()
+			}
+		}
+	}
 	ranks := make([]matrix.Vector, len(subs))
 	iters := make([]int, len(subs))
 	errs := make([]error, len(subs))

@@ -60,6 +60,10 @@ func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, 
 	if domainOf == nil {
 		domainOf = DefaultDomainOf
 	}
+	// Dedupe before the parallel local-rank phase: LocalSubgraph calls
+	// Dedupe on the shared digraph, which mutates it — that must happen
+	// exactly once, up front, not racily inside the site fan-out.
+	dg.G.Dedupe()
 
 	// Group sites into domains.
 	ns := dg.NumSites()

@@ -3,7 +3,9 @@ package matrix
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Triple is one (row, col, value) entry used to build a CSR matrix.
@@ -15,14 +17,37 @@ type Triple struct {
 // CSR is a square sparse matrix in compressed-sparse-row form. It is the
 // workhorse representation for web-scale transition matrices, where each
 // row holds the out-link probabilities of one document.
+//
+// Construction also builds the transpose (CSC) view once, so repeated
+// left-multiplications run pull-based: every destination entry dst[j] is
+// owned by exactly one loop iteration, which removes all write contention
+// and lets MulVecLeft shard the destination range across GOMAXPROCS.
+// Within each column the source rows are stored in ascending order, so
+// the pull accumulation visits contributions in the same order as the
+// classical push-based sweep and reproduces its floating-point results.
 type CSR struct {
 	n      int
 	rowPtr []int
 	colIdx []int
 	val    []float64
+
+	// Transpose view: column j's incoming entries are
+	// rowIdx[colPtr[j]:colPtr[j+1]] / cval[...], rows ascending.
+	colPtr []int
+	rowIdx []int
+	cval   []float64
 }
 
 var _ LeftMultiplier = (*CSR)(nil)
+var _ FusedLeftMultiplier = (*CSR)(nil)
+
+// Parallel-dispatch thresholds: below minParallelNNZ stored entries a
+// multiply is cheaper than the goroutine handoff; maxShards bounds the
+// fan-out of one multiply regardless of GOMAXPROCS.
+const (
+	minParallelNNZ = 1 << 14
+	maxShards      = 64
+)
 
 // NewCSR builds an n×n CSR matrix from triples. Duplicate (row, col)
 // entries are summed. Triples need not be sorted. It panics on
@@ -60,6 +85,39 @@ func NewCSR(n int, triples []Triple) *CSR {
 
 	m := &CSR{n: n, rowPtr: counts, colIdx: colIdx, val: val}
 	m.sortAndDedupeRows()
+	m.buildTranspose()
+	return m
+}
+
+// NewCSRFromSorted builds a CSR matrix directly from prebuilt row-pointer
+// and entry slices, taking ownership of them. Rows must hold strictly
+// increasing, in-range columns — the form adjacency lists already have
+// after graph.Digraph.Dedupe — so the triple round-trip, per-row sort and
+// dedupe of NewCSR are all skipped. It panics on malformed input.
+func NewCSRFromSorted(n int, rowPtr, colIdx []int, val []float64) *CSR {
+	if n <= 0 {
+		panic(fmt.Sprintf("matrix: NewCSRFromSorted with non-positive order %d", n))
+	}
+	if len(rowPtr) != n+1 || rowPtr[0] != 0 || rowPtr[n] != len(colIdx) || len(colIdx) != len(val) {
+		panic(fmt.Sprintf("matrix: NewCSRFromSorted inconsistent shape (n=%d, ptrs=%d, cols=%d, vals=%d)",
+			n, len(rowPtr), len(colIdx), len(val)))
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		if lo > hi {
+			panic(fmt.Sprintf("matrix: NewCSRFromSorted row %d has negative extent", i))
+		}
+		for k := lo; k < hi; k++ {
+			if colIdx[k] < 0 || colIdx[k] >= n {
+				panic(fmt.Sprintf("matrix: NewCSRFromSorted column %d out of order %d", colIdx[k], n))
+			}
+			if k > lo && colIdx[k] <= colIdx[k-1] {
+				panic(fmt.Sprintf("matrix: NewCSRFromSorted row %d not strictly sorted at entry %d", i, k))
+			}
+		}
+	}
+	m := &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, val: val}
+	m.buildTranspose()
 	return m
 }
 
@@ -70,16 +128,16 @@ func (m *CSR) sortAndDedupeRows() {
 	newPtr := make([]int, m.n+1)
 	for i := 0; i < m.n; i++ {
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
-		row := rowEntries{cols: m.colIdx[lo:hi], vals: m.val[lo:hi]}
-		sort.Sort(row)
+		cols, vals := m.colIdx[lo:hi], m.val[lo:hi]
+		sortPairs(cols, vals)
 		start := w
-		for k := 0; k < len(row.cols); k++ {
-			if w > start && m.colIdx[w-1] == row.cols[k] {
-				m.val[w-1] += row.vals[k]
+		for k := 0; k < len(cols); k++ {
+			if w > start && m.colIdx[w-1] == cols[k] {
+				m.val[w-1] += vals[k]
 				continue
 			}
-			m.colIdx[w] = row.cols[k]
-			m.val[w] = row.vals[k]
+			m.colIdx[w] = cols[k]
+			m.val[w] = vals[k]
 			w++
 		}
 		newPtr[i+1] = w
@@ -89,17 +147,89 @@ func (m *CSR) sortAndDedupeRows() {
 	m.val = m.val[:w]
 }
 
-// rowEntries sorts a row's (col, val) pairs by column.
-type rowEntries struct {
-	cols []int
-	vals []float64
+// sortPairs sorts the parallel (cols, vals) slices by column without the
+// sort.Interface indirection: insertion sort for the short rows typical
+// of web graphs, three-way (fat-pivot) quicksort above that so the
+// duplicate-heavy rows NewCSR explicitly accepts stay O(n·log n) — a
+// run of equal columns lands in the middle partition in one pass.
+func sortPairs(cols []int, vals []float64) {
+	for len(cols) > 24 {
+		// Median-of-three pivot.
+		mid, last := len(cols)/2, len(cols)-1
+		if cols[mid] < cols[0] {
+			cols[mid], cols[0] = cols[0], cols[mid]
+			vals[mid], vals[0] = vals[0], vals[mid]
+		}
+		if cols[last] < cols[0] {
+			cols[last], cols[0] = cols[0], cols[last]
+			vals[last], vals[0] = vals[0], vals[last]
+		}
+		if cols[last] < cols[mid] {
+			cols[mid], cols[last] = cols[last], cols[mid]
+			vals[mid], vals[last] = vals[last], vals[mid]
+		}
+		pivot := cols[mid]
+		// Dutch-flag partition: [0,lt) < pivot, [lt,i) == pivot,
+		// (gt,len) > pivot.
+		lt, i, gt := 0, 0, len(cols)-1
+		for i <= gt {
+			switch {
+			case cols[i] < pivot:
+				cols[i], cols[lt] = cols[lt], cols[i]
+				vals[i], vals[lt] = vals[lt], vals[i]
+				lt++
+				i++
+			case cols[i] > pivot:
+				cols[i], cols[gt] = cols[gt], cols[i]
+				vals[i], vals[gt] = vals[gt], vals[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		// Recurse on the smaller side, loop on the larger.
+		if lt < len(cols)-gt-1 {
+			sortPairs(cols[:lt], vals[:lt])
+			cols, vals = cols[gt+1:], vals[gt+1:]
+		} else {
+			sortPairs(cols[gt+1:], vals[gt+1:])
+			cols, vals = cols[:lt], vals[:lt]
+		}
+	}
+	for k := 1; k < len(cols); k++ {
+		c, v := cols[k], vals[k]
+		j := k - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
 }
 
-func (r rowEntries) Len() int           { return len(r.cols) }
-func (r rowEntries) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
-func (r rowEntries) Swap(i, j int) {
-	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
-	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+// buildTranspose derives the CSC view from the finalized rows. Scanning
+// rows in ascending order keeps each column's source rows ascending.
+func (m *CSR) buildTranspose() {
+	m.colPtr = make([]int, m.n+1)
+	for _, j := range m.colIdx {
+		m.colPtr[j+1]++
+	}
+	for j := 0; j < m.n; j++ {
+		m.colPtr[j+1] += m.colPtr[j]
+	}
+	m.rowIdx = make([]int, len(m.colIdx))
+	m.cval = make([]float64, len(m.val))
+	next := make([]int, m.n)
+	copy(next, m.colPtr[:m.n])
+	for i := 0; i < m.n; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			p := next[j]
+			m.rowIdx[p] = i
+			m.cval[p] = m.val[k]
+			next[j]++
+		}
+	}
 }
 
 // Order returns the dimension n.
@@ -135,21 +265,134 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVecLeft computes dst' = x'M.
 func (m *CSR) MulVecLeft(dst, x Vector) {
+	m.checkMulShape(dst, x)
+	m.pullApply(dst, x, 1, 0, nil)
+}
+
+// MulVecLeftFused computes dst' = x'M and returns the sum of dst,
+// accumulated in index order during the same sweep. Implements
+// FusedLeftMultiplier, letting the power method normalize without an
+// extra pass.
+func (m *CSR) MulVecLeftFused(dst, x Vector) float64 {
+	m.checkMulShape(dst, x)
+	return m.pullApply(dst, x, 1, 0, nil)
+}
+
+// MulVecLeftDamped computes the damped-chain sweep used by PageRank
+// operators in one pass:
+//
+//	dst[j] = f·(x'M)[j] + coeff·v[j]
+//
+// returning the sum of dst. The caller supplies coeff (dangling mass and
+// teleport weight folded together); fusing the rank-one teleport term
+// into the SpMV removes the Scale+AddScaled sweeps the matrix-free
+// operator otherwise needs.
+func (m *CSR) MulVecLeftDamped(dst, x Vector, f, coeff float64, v Vector) float64 {
+	m.checkMulShape(dst, x)
+	if len(v) != m.n {
+		panic(fmt.Sprintf("matrix: CSR MulVecLeftDamped teleport length %d vs order %d", len(v), m.n))
+	}
+	return m.pullApply(dst, x, f, coeff, v)
+}
+
+func (m *CSR) checkMulShape(dst, x Vector) {
 	if len(x) != m.n || len(dst) != m.n {
 		panic(fmt.Sprintf("matrix: CSR MulVecLeft lengths %d,%d vs order %d", len(x), len(dst), m.n))
 	}
-	for j := range dst {
-		dst[j] = 0
+}
+
+// pullApply runs the pull-based sweep, sharding the destination range
+// across GOMAXPROCS when the matrix is large enough to pay for the
+// goroutine handoff.
+func (m *CSR) pullApply(dst, x Vector, scale, coeff float64, v Vector) float64 {
+	return m.pullApplyShards(dst, x, scale, coeff, v, m.shards())
+}
+
+// shards picks the fan-out of one multiply: 1 (serial, allocation-free)
+// unless multiple procs are available and the work amortizes the handoff.
+func (m *CSR) shards() int {
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 || len(m.cval) < minParallelNNZ {
+		return 1
 	}
-	for i := 0; i < m.n; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			dst[m.colIdx[k]] += xi * m.val[k]
-		}
+	if p > maxShards {
+		p = maxShards
 	}
+	if p > m.n {
+		p = m.n
+	}
+	return p
+}
+
+// pullApplyShards is pullApply with an explicit shard count (tests force
+// shards > 1 regardless of GOMAXPROCS). Shard s owns the destination
+// columns [shardBound(s), shardBound(s+1)), disjoint by construction, so
+// the workers share no written state; per-shard partial sums are reduced
+// in shard order afterwards.
+func (m *CSR) pullApplyShards(dst, x Vector, scale, coeff float64, v Vector, shards int) float64 {
+	if shards <= 1 {
+		return m.pullRange(dst, x, 0, m.n, scale, coeff, v)
+	}
+	sums := make([]float64, shards)
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			sums[s] = m.pullRange(dst, x, m.shardBound(shards, s), m.shardBound(shards, s+1), scale, coeff, v)
+		}(s)
+	}
+	wg.Wait()
+	var sum float64
+	for _, s := range sums {
+		sum += s
+	}
+	return sum
+}
+
+// shardBound returns the first destination column of shard s, splitting
+// columns so every shard covers roughly equal stored-entry counts rather
+// than equal column counts (web graphs have highly skewed in-degrees).
+func (m *CSR) shardBound(shards, s int) int {
+	if s <= 0 {
+		return 0
+	}
+	if s >= shards {
+		return m.n
+	}
+	target := len(m.cval) * s / shards
+	return sort.SearchInts(m.colPtr, target)
+}
+
+// pullRange computes dst[j] for destinations j in [lo, hi):
+//
+//	dst[j] = (x'M)[j]                     when v is nil
+//	dst[j] = scale·(x'M)[j] + coeff·v[j]  otherwise
+//
+// and returns the partial sum of the written entries.
+func (m *CSR) pullRange(dst, x Vector, lo, hi int, scale, coeff float64, v Vector) float64 {
+	var sum float64
+	if v == nil {
+		for j := lo; j < hi; j++ {
+			var acc float64
+			for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+				acc += x[m.rowIdx[k]] * m.cval[k]
+			}
+			dst[j] = acc
+			sum += acc
+		}
+		return sum
+	}
+	for j := lo; j < hi; j++ {
+		var acc float64
+		for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+			acc += x[m.rowIdx[k]] * m.cval[k]
+		}
+		acc = scale*acc + coeff*v[j]
+		dst[j] = acc
+		sum += acc
+	}
+	return sum
 }
 
 // RowSums returns the vector of row sums.
@@ -181,10 +424,14 @@ func (m *CSR) NormalizeRows() *CSR {
 			m.val[k] *= inv
 		}
 	}
+	// The transpose view shares the same values in a different layout;
+	// rebuild it so the pull kernels see the rescaled entries.
+	m.buildTranspose()
 	return m
 }
 
-// DanglingRows returns the indices of rows with zero sum (no out-links).
+// DanglingRows returns the indices of rows with zero sum (no out-links),
+// in ascending order.
 func (m *CSR) DanglingRows() []int {
 	var out []int
 	for i := 0; i < m.n; i++ {

@@ -1,0 +1,234 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pushMulVecLeft is the pre-optimization push-based kernel, kept as the
+// reference the pull-based sweep must reproduce: scatter dst[col] +=
+// x[row]·val in row order. Because the transpose view stores each
+// column's sources ascending, the pull accumulation visits the same
+// contributions in the same order and the results must match bitwise.
+func pushMulVecLeft(m *CSR, dst, x Vector) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.n; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.colIdx[k]] += xi * m.val[k]
+		}
+	}
+}
+
+func randomSparse(rng *rand.Rand, n, nnz int) *CSR {
+	triples := make([]Triple, nnz)
+	for k := range triples {
+		triples[k] = Triple{Row: rng.Intn(n), Col: rng.Intn(n), Val: rng.Float64()}
+	}
+	return NewCSR(n, triples)
+}
+
+func randomX(rng *rand.Rand, n int) Vector {
+	x := NewVector(n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func TestPullMatchesPushBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(60) + 1
+		m := randomSparse(rng, n, rng.Intn(4*n+1))
+		x := randomX(rng, n)
+		got, want := NewVector(n), NewVector(n)
+		m.MulVecLeft(got, x)
+		pushMulVecLeft(m, want, x)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: pull dst[%d] = %g, push = %g (diff %g)",
+					trial, j, got[j], want[j], got[j]-want[j])
+			}
+		}
+	}
+}
+
+func TestPullParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomSparse(rng, 500, 6000)
+	x := randomX(rng, 500)
+	serial, parallel := NewVector(500), NewVector(500)
+	wantSum := m.pullApplyShards(serial, x, 1, 0, nil, 1)
+	for _, shards := range []int{2, 3, 8, 64} {
+		gotSum := m.pullApplyShards(parallel, x, 1, 0, nil, shards)
+		for j := range parallel {
+			// Disjoint destination ranges: every element is computed by
+			// exactly one shard with the serial loop body, so values are
+			// bitwise identical; only the reduced total sum may differ
+			// in the last bits.
+			if parallel[j] != serial[j] {
+				t.Fatalf("shards=%d: dst[%d] = %g, serial = %g", shards, j, parallel[j], serial[j])
+			}
+		}
+		if math.Abs(gotSum-wantSum) > 1e-12*math.Abs(wantSum) {
+			t.Fatalf("shards=%d: sum = %g, serial = %g", shards, gotSum, wantSum)
+		}
+	}
+}
+
+func TestPullParallelDampedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomSparse(rng, 300, 3000)
+	x := randomX(rng, 300)
+	v := Uniform(300)
+	serial, parallel := NewVector(300), NewVector(300)
+	m.pullApplyShards(serial, x, 0.85, 0.07, v, 1)
+	m.pullApplyShards(parallel, x, 0.85, 0.07, v, 5)
+	for j := range parallel {
+		if parallel[j] != serial[j] {
+			t.Fatalf("damped dst[%d] = %g, serial = %g", j, parallel[j], serial[j])
+		}
+	}
+}
+
+func TestMulVecLeftFusedSumMatchesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomSparse(rng, 80, 400)
+	x := randomX(rng, 80)
+	dst := NewVector(80)
+	sum := m.MulVecLeftFused(dst, x)
+	// The fused sum accumulates dst in index order — exactly Vector.Sum.
+	if sum != dst.Sum() {
+		t.Fatalf("fused sum %g != dst.Sum() %g", sum, dst.Sum())
+	}
+}
+
+func TestMulVecLeftDamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := randomSparse(rng, 40, 200)
+	x := randomX(rng, 40)
+	v := randomX(rng, 40)
+	f, coeff := 0.85, 0.21
+	want := NewVector(40)
+	m.MulVecLeft(want, x)
+	for j := range want {
+		want[j] = f*want[j] + coeff*v[j]
+	}
+	got := NewVector(40)
+	m.MulVecLeftDamped(got, x, f, coeff, v)
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("damped dst[%d] = %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestNewCSRFromSortedMatchesNewCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(30) + 1
+		ref := randomSparse(rng, n, rng.Intn(5*n+1))
+		rowPtr := append([]int(nil), ref.rowPtr...)
+		colIdx := append([]int(nil), ref.colIdx...)
+		val := append([]float64(nil), ref.val...)
+		m := NewCSRFromSorted(n, rowPtr, colIdx, val)
+		if m.NNZ() != ref.NNZ() {
+			t.Fatalf("NNZ %d vs %d", m.NNZ(), ref.NNZ())
+		}
+		x := randomX(rng, n)
+		a, b := NewVector(n), NewVector(n)
+		m.MulVecLeft(a, x)
+		ref.MulVecLeft(b, x)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("trial %d: dst[%d] differs", trial, j)
+			}
+		}
+	}
+}
+
+func TestNewCSRFromSortedRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		rowPtr []int
+		cols   []int
+		vals   []float64
+	}{
+		{"unsorted row", 2, []int{0, 2, 2}, []int{1, 0}, []float64{1, 1}},
+		{"duplicate col", 2, []int{0, 2, 2}, []int{1, 1}, []float64{1, 1}},
+		{"col out of range", 2, []int{0, 1, 1}, []int{2}, []float64{1}},
+		{"bad ptr tail", 2, []int{0, 1, 3}, []int{0, 1}, []float64{1, 1}},
+		{"negative extent", 2, []int{0, 2, 1}, []int{0, 1}, []float64{1, 1}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			NewCSRFromSorted(c.n, c.rowPtr, c.cols, c.vals)
+		}()
+	}
+}
+
+// A row of ~100k copies of one column must build in linear-ish time:
+// the three-way partition puts the equal run in the middle bucket in
+// one pass (the old Lomuto scheme degraded to O(n²) here).
+func TestNewCSRDuplicateHeavyRow(t *testing.T) {
+	const n = 100_000
+	triples := make([]Triple, n)
+	for k := range triples {
+		triples[k] = Triple{Row: 1, Col: 7, Val: 1}
+	}
+	m := NewCSR(10, triples)
+	if m.NNZ() != 1 || m.At(1, 7) != n {
+		t.Fatalf("NNZ = %d, At(1,7) = %g; want 1 merged entry summing %d", m.NNZ(), m.At(1, 7), n)
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(200)
+		cols := make([]int, n)
+		vals := make([]float64, n)
+		for i := range cols {
+			cols[i] = rng.Intn(50) // duplicates likely
+			vals[i] = float64(cols[i]) + 0.5
+		}
+		sortPairs(cols, vals)
+		for i := 1; i < n; i++ {
+			if cols[i-1] > cols[i] {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+		}
+		for i := range cols {
+			// Pair integrity: vals must move with their cols.
+			if vals[i] != float64(cols[i])+0.5 {
+				t.Fatalf("trial %d: pair broken at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMulVecLeftSerialZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomSparse(rng, 256, 2048)
+	x := randomX(rng, 256)
+	dst := NewVector(256)
+	allocs := testing.AllocsPerRun(50, func() {
+		m.pullApplyShards(dst, x, 1, 0, nil, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("serial MulVecLeft allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package matrix
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrNotConverged is returned (wrapped) when the power method exhausts its
@@ -17,6 +18,34 @@ const (
 	DefaultMaxIter = 1000
 )
 
+// FusedLeftMultiplier is a LeftMultiplier whose sweep also returns the
+// sum of dst, accumulated in index order. PowerLeft exploits it to fold
+// multiply, normalization and the L1 residual into two passes per
+// iteration instead of four (multiply, sum, scale, diff).
+type FusedLeftMultiplier interface {
+	LeftMultiplier
+	// MulVecLeftFused computes dst' = x'M and returns the sum of dst.
+	MulVecLeftFused(dst, x Vector) float64
+}
+
+// PowerScratch holds the two iteration buffers of a PowerLeft run so
+// repeated solves over same-order operators allocate nothing. The zero
+// value is ready to use; buffers are (re)allocated on first use or when
+// the operator order changes.
+type PowerScratch struct {
+	a, b Vector
+}
+
+// vectors returns the two length-n buffers, allocating only when the
+// scratch is fresh or sized for a different order.
+func (s *PowerScratch) vectors(n int) (x, next Vector) {
+	if len(s.a) != n {
+		s.a = NewVector(n)
+		s.b = NewVector(n)
+	}
+	return s.a, s.b
+}
+
 // PowerOptions configures PowerLeft.
 type PowerOptions struct {
 	// Tol is the L1 convergence threshold between successive iterates.
@@ -27,12 +56,18 @@ type PowerOptions struct {
 	// Start is the initial distribution; nil means uniform. It is not
 	// mutated.
 	Start Vector
+	// Scratch, when non-nil, supplies reusable iteration buffers: the
+	// run allocates nothing and the returned Vector aliases one of the
+	// scratch buffers, remaining valid only until the scratch is used
+	// again. Leave nil for an independently owned result.
+	Scratch *PowerScratch
 }
 
 // PowerResult reports the outcome of a power-method run.
 type PowerResult struct {
 	// Vector is the final iterate, a probability distribution when the
-	// operator is stochastic.
+	// operator is stochastic. When PowerOptions.Scratch was set it
+	// aliases a scratch buffer.
 	Vector Vector
 	// Iterations is the number of multiplications performed.
 	Iterations int
@@ -48,6 +83,11 @@ type PowerResult struct {
 // drift. When the budget is exhausted the best iterate is still returned
 // along with an error wrapping ErrNotConverged.
 //
+// Operators implementing FusedLeftMultiplier take the fused hot path:
+// the multiply sweep reports the iterate sum, and one further pass
+// normalizes and accumulates the residual — with PowerOptions.Scratch
+// set, a steady-state iteration performs zero allocations.
+//
 // Convergence is guaranteed for primitive stochastic matrices
 // (Perron–Frobenius); for merely irreducible periodic chains the iteration
 // may oscillate and the caller should expect ErrNotConverged.
@@ -61,24 +101,35 @@ func PowerLeft(m LeftMultiplier, opts PowerOptions) (PowerResult, error) {
 	if maxIter == 0 {
 		maxIter = DefaultMaxIter
 	}
-
-	var x Vector
-	if opts.Start != nil {
-		if len(opts.Start) != n {
-			return PowerResult{}, fmt.Errorf("matrix: start vector length %d vs operator order %d", len(opts.Start), n)
-		}
-		x = opts.Start.Clone().Normalize()
-	} else {
-		x = Uniform(n)
+	if opts.Start != nil && len(opts.Start) != n {
+		return PowerResult{}, fmt.Errorf("matrix: start vector length %d vs operator order %d", len(opts.Start), n)
 	}
 
-	next := NewVector(n)
+	var x, next Vector
+	if opts.Scratch != nil {
+		x, next = opts.Scratch.vectors(n)
+	} else {
+		x, next = NewVector(n), NewVector(n)
+	}
+	if opts.Start != nil {
+		copy(x, opts.Start)
+		x.Normalize()
+	} else {
+		x.Fill(1.0 / float64(n))
+	}
+
+	fused, _ := m.(FusedLeftMultiplier)
 	res := PowerResult{}
 	for it := 1; it <= maxIter; it++ {
-		m.MulVecLeft(next, x)
-		next.Normalize()
+		if fused != nil {
+			sum := fused.MulVecLeftFused(next, x)
+			res.Residual = normalizeResidual(next, x, sum)
+		} else {
+			m.MulVecLeft(next, x)
+			next.Normalize()
+			res.Residual = next.L1Diff(x)
+		}
 		res.Iterations = it
-		res.Residual = next.L1Diff(x)
 		x, next = next, x
 		if res.Residual <= tol {
 			res.Converged = true
@@ -91,4 +142,26 @@ func PowerLeft(m LeftMultiplier, opts PowerOptions) (PowerResult, error) {
 			ErrNotConverged, res.Iterations, res.Residual, tol)
 	}
 	return res, nil
+}
+
+// normalizeResidual rescales next to sum to 1 using the sum the fused
+// sweep already computed and accumulates the L1 distance to x in the same
+// pass. Degenerate sums fall back to uniform, exactly like
+// Vector.Normalize.
+func normalizeResidual(next, x Vector, sum float64) float64 {
+	var resid float64
+	if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		p := 1.0 / float64(len(next))
+		for i := range next {
+			next[i] = p
+			resid += math.Abs(p - x[i])
+		}
+		return resid
+	}
+	inv := 1.0 / sum
+	for i := range next {
+		next[i] *= inv
+		resid += math.Abs(next[i] - x[i])
+	}
+	return resid
 }

@@ -119,6 +119,13 @@ func Dense(m *matrix.Dense, cfg Config) (Result, error) {
 //
 // which equals left-multiplication by Mˆ with dangling rows replaced by v,
 // without materializing the dense rank-one terms.
+//
+// The apply is fully fused: one pass over x accumulates both its total
+// mass and the dangling mass (the dangling list is ascending, so a
+// two-pointer walk folds the two sums together), and the pull-based SpMV
+// writes f·(x'M)[j] + coeff·v[j] directly — no separate Scale/AddScaled
+// sweeps. Implementing matrix.FusedLeftMultiplier, it also hands the
+// iterate sum to the power method for single-pass normalization.
 type Operator struct {
 	m        *matrix.CSR
 	f        float64
@@ -127,6 +134,7 @@ type Operator struct {
 }
 
 var _ matrix.LeftMultiplier = (*Operator)(nil)
+var _ matrix.FusedLeftMultiplier = (*Operator)(nil)
 
 // NewOperator builds the damped operator for a row-normalized sparse
 // chain. Rows of m must each sum to 1 or 0 (dangling).
@@ -149,16 +157,29 @@ func (o *Operator) Order() int { return o.m.Order() }
 
 // MulVecLeft implements matrix.LeftMultiplier.
 func (o *Operator) MulVecLeft(dst, x matrix.Vector) {
-	o.m.MulVecLeft(dst, x)
-	var dangMass float64
-	for _, i := range o.dangling {
-		dangMass += x[i]
+	o.MulVecLeftFused(dst, x)
+}
+
+// MulVecLeftFused implements matrix.FusedLeftMultiplier: the damped
+// apply in a single SpMV sweep, returning the sum of dst.
+func (o *Operator) MulVecLeftFused(dst, x matrix.Vector) float64 {
+	// One pass over x: total mass and dangling mass together. The
+	// dangling indices are ascending, so a cursor into them advances in
+	// lockstep with the x scan.
+	var xsum, dangMass float64
+	di := 0
+	for i, xi := range x {
+		xsum += xi
+		if di < len(o.dangling) && o.dangling[di] == i {
+			dangMass += xi
+			di++
+		}
 	}
 	// Total teleport coefficient: damped dangling mass plus the global
 	// (1−f) jump, scaled by the mass of x (which the power method keeps
-	// at 1; using x.Sum() keeps the operator exact for any input).
-	coeff := o.f*dangMass + (1-o.f)*x.Sum()
-	dst.Scale(o.f).AddScaled(coeff, o.v)
+	// at 1; using the full sum keeps the operator exact for any input).
+	coeff := o.f*dangMass + (1-o.f)*xsum
+	return o.m.MulVecLeftDamped(dst, x, o.f, coeff, o.v)
 }
 
 // Sparse computes PageRank of a sparse row-normalized transition matrix
@@ -173,6 +194,70 @@ func Sparse(m *matrix.CSR, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res, err := matrix.PowerLeft(op, cfg.powerOptions())
+	if err != nil {
+		return Result{}, fmt.Errorf("pagerank: %w", err)
+	}
+	return Result{
+		Scores:     res.Vector,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Residual:   res.Residual,
+	}, nil
+}
+
+// Solver runs repeated PageRank computations over one fixed chain with
+// zero steady-state allocations: the dangling-row list, the uniform
+// teleport, the personalization buffer and the power-method scratch are
+// all built once at construction and reused by every Solve. It is the
+// per-site building block of lmm.Ranker.
+//
+// A Solver is not safe for concurrent use, and the Scores of a returned
+// Result alias its scratch: they are valid only until the next Solve.
+// Clone them to retain a result across calls.
+type Solver struct {
+	op       Operator
+	uniform  matrix.Vector
+	teleport matrix.Vector
+	scratch  matrix.PowerScratch
+}
+
+// NewSolver precomputes the reusable state for PageRank runs over the
+// row-normalized chain m. The matrix is captured by reference and must
+// not change while the solver is in use.
+func NewSolver(m *matrix.CSR) *Solver {
+	n := m.Order()
+	return &Solver{
+		op:       Operator{m: m, dangling: m.DanglingRows()},
+		uniform:  matrix.Uniform(n),
+		teleport: matrix.NewVector(n),
+	}
+}
+
+// Order returns the chain dimension.
+func (s *Solver) Order() int { return s.op.m.Order() }
+
+// Solve computes PageRank with the given configuration, reusing all
+// internal buffers. Result.Scores aliases solver scratch — see the type
+// comment.
+func (s *Solver) Solve(cfg Config) (Result, error) {
+	n := s.op.m.Order()
+	if err := cfg.validate(n); err != nil {
+		return Result{}, err
+	}
+	s.op.f = cfg.damping()
+	if cfg.Personalization == nil {
+		s.op.v = s.uniform
+	} else {
+		copy(s.teleport, cfg.Personalization)
+		s.teleport.Normalize()
+		s.op.v = s.teleport
+	}
+	res, err := matrix.PowerLeft(&s.op, matrix.PowerOptions{
+		Tol:     cfg.Tol,
+		MaxIter: cfg.MaxIter,
+		Start:   cfg.Start,
+		Scratch: &s.scratch,
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("pagerank: %w", err)
 	}

@@ -1,0 +1,145 @@
+package pagerank
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+)
+
+func randomChainGraph(rng *rand.Rand, n int) *graph.Digraph {
+	g := graph.NewDigraph(n)
+	for i := 0; i < n; i++ {
+		deg := rng.Intn(4) // zero-degree nodes exercise dangling handling
+		for d := 0; d < deg; d++ {
+			g.AddLink(i, rng.Intn(n))
+		}
+	}
+	return g
+}
+
+func TestSolverMatchesSparseBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		g := randomChainGraph(rng, rng.Intn(50)+2)
+		m := g.TransitionMatrix()
+		s := NewSolver(m)
+		for _, cfg := range []Config{
+			{},
+			{Damping: 0.6},
+			{Tol: 1e-8},
+		} {
+			want, err1 := Sparse(m, cfg)
+			got, err2 := s.Solve(cfg)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d: errs %v / %v", trial, err1, err2)
+			}
+			if got.Iterations != want.Iterations {
+				t.Fatalf("trial %d: iterations %d vs %d", trial, got.Iterations, want.Iterations)
+			}
+			for i := range got.Scores {
+				if got.Scores[i] != want.Scores[i] {
+					t.Fatalf("trial %d: π[%d] = %g, Sparse %g", trial, i, got.Scores[i], want.Scores[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSolverPersonalizationMatchesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g := randomChainGraph(rng, 30)
+	m := g.TransitionMatrix()
+	s := NewSolver(m)
+	pers := matrix.NewVector(30)
+	for i := range pers {
+		pers[i] = rng.Float64() + 0.01
+	}
+	pers.Normalize()
+	cfg := Config{Personalization: pers}
+	want, err1 := Sparse(m, cfg)
+	got, err2 := s.Solve(cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v / %v", err1, err2)
+	}
+	if got.Scores.L1Diff(want.Scores) != 0 {
+		t.Errorf("personalized solve differs by %g", got.Scores.L1Diff(want.Scores))
+	}
+	// Switching back to uniform must not leak the previous teleport.
+	gotU, err := s.Solve(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU, _ := Sparse(m, Config{})
+	if gotU.Scores.L1Diff(wantU.Scores) != 0 {
+		t.Error("uniform solve after personalized one differs")
+	}
+}
+
+func TestSolverRejectsBadConfig(t *testing.T) {
+	g := graph.NewDigraph(2)
+	g.AddLink(0, 1)
+	s := NewSolver(g.TransitionMatrix())
+	if _, err := s.Solve(Config{Damping: 1.5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("damping 1.5: err = %v", err)
+	}
+	if _, err := s.Solve(Config{Personalization: matrix.Vector{1}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short personalization: err = %v", err)
+	}
+}
+
+// Steady-state Solve allocates nothing: operator, dangling list,
+// teleport and power scratch are all precomputed.
+func TestSolverZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := randomChainGraph(rng, 100)
+	s := NewSolver(g.TransitionMatrix())
+	if _, err := s.Solve(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	var solveErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		_, solveErr = s.Solve(Config{})
+	})
+	if solveErr != nil {
+		t.Fatal(solveErr)
+	}
+	if allocs != 0 {
+		t.Errorf("Solve allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// Pin the damping sentinel: zero means DefaultDamping exactly (not "no
+// damping"), explicit tiny values are honored, and non-positive damping
+// cannot be expressed — it falls back or errors.
+func TestDampingZeroSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	g := randomChainGraph(rng, 20)
+	m := g.TransitionMatrix()
+
+	zero, err1 := Sparse(m, Config{Damping: 0})
+	def, err2 := Sparse(m, Config{Damping: DefaultDamping})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v / %v", err1, err2)
+	}
+	if zero.Scores.L1Diff(def.Scores) != 0 || zero.Iterations != def.Iterations {
+		t.Error("Damping: 0 is not identical to Damping: DefaultDamping")
+	}
+
+	tiny, err := Sparse(m, Config{Damping: 1e-6})
+	if err != nil {
+		t.Fatalf("tiny damping rejected: %v", err)
+	}
+	if tiny.Scores.L1Diff(def.Scores) == 0 {
+		t.Error("tiny damping silently reinterpreted as default")
+	}
+
+	if _, err := Sparse(m, Config{Damping: -0.5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative damping: err = %v", err)
+	}
+	if _, err := Sparse(m, Config{Damping: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("damping 1: err = %v", err)
+	}
+}

@@ -161,6 +161,22 @@ func LayeredDocRank(dg *DocGraph, cfg WebConfig) (*WebResult, error) {
 	return lmm.LayeredDocRank(dg, cfg)
 }
 
+// Ranker is the precomputed serving form of the layered pipeline: build
+// it once per graph, then answer repeated Rank queries (uniform or
+// personalized) with near-zero setup cost and no steady-state
+// allocations. Results alias the Ranker's scratch — see lmm.Ranker for
+// the reuse contract.
+type Ranker = lmm.Ranker
+
+// RankerOptions fixes the graph-derivation choices a Ranker precomputes.
+type RankerOptions = lmm.RankerOptions
+
+// NewRanker precomputes the layered ranking structure of a DocGraph:
+// the SiteGraph, all local subgraphs and their transition matrices.
+func NewRanker(dg *DocGraph, opts RankerOptions) (*Ranker, error) {
+	return lmm.NewRanker(dg, opts)
+}
+
 // Web3Result is the outcome of the three-layer (domain→site→page)
 // pipeline.
 type Web3Result = lmm.Web3Result
