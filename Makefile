@@ -7,9 +7,9 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench docs
 
-check: fmt vet build test
+check: fmt vet build test docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -31,6 +31,22 @@ test:
 # keep both race-clean.
 race:
 	$(GO) test -race ./internal/dist/... ./internal/lmm/...
+
+# Documentation gate: go vet's doc-adjacent checks run under `vet`; this
+# target additionally fails when any package (library or command) lacks a
+# godoc package comment — the repo's docs rot guard. Library packages
+# must carry "// Package <name> ..."; main packages "// Command <name>
+# ...". Keep it grep-simple so it stays dependency-free.
+docs:
+	@fail=0; \
+	for d in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		if ! grep -qsE '^// (Package|Command) ' $$d/*.go; then \
+			echo "missing package comment: $$d"; fail=1; \
+		fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then \
+		echo "every package needs a '// Package ...' or '// Command ...' godoc comment"; exit 1; \
+	fi
 
 # Quick smoke pass over every benchmark in the module.
 bench-smoke:

@@ -7,6 +7,14 @@
 //
 //	lmmcoord -graph campus.graph -workers host1:7100,host2:7100
 //	         [-format text|gob] [-top 15] [-distributed-siterank]
+//	         [-batch-rounds 4] [-max-worker-failures 1] [-runs 2]
+//
+// Shards are balanced over the fleet by page count and negotiated
+// against the workers' digest caches, so with -runs > 1 every run after
+// the first ships near-zero shard bytes. -max-worker-failures lets a
+// run survive peers dying mid-flight (their shards are reassigned);
+// -batch-rounds exchanges several SiteRank power rounds per message
+// when -distributed-siterank is on.
 package main
 
 import (
@@ -37,6 +45,9 @@ func run() error {
 		top       = flag.Int("top", 15, "table length")
 		damping   = flag.Float64("damping", 0.85, "damping factor / gatekeeper α")
 		distSite  = flag.Bool("distributed-siterank", false, "compute SiteRank by distributed power iteration")
+		batch     = flag.Int("batch-rounds", 0, "SiteRank power rounds per exchange (with -distributed-siterank; <=1 = one round per exchange)")
+		failures  = flag.Int("max-worker-failures", 1, "worker losses one run may absorb by reassigning shards (0 = fail on first loss)")
+		runs      = flag.Int("runs", 1, "repeat the ranking; runs after the first hit the workers' shard caches")
 	)
 	flag.Parse()
 	if *graphPath == "" || *workers == "" {
@@ -85,22 +96,41 @@ func run() error {
 	}
 	fmt.Printf("precomputed ranking structure in %v\n", time.Since(prepStart).Round(time.Millisecond))
 
-	start := time.Now()
-	res, err := coord.RankPrepared(rk, coordinator.Config{
+	cfg := coordinator.Config{
 		Damping:             *damping,
 		DistributedSiteRank: *distSite,
-	})
-	if err != nil {
-		return err
+		BatchRounds:         *batch,
+		Retry:               coordinator.RetryPolicy{MaxWorkerFailures: *failures},
 	}
-	fmt.Printf("ranked in %v (load %v, local %v, siterank %v; %d messages, %.2f MB out, %.2f MB in)\n\n",
-		time.Since(start).Round(time.Millisecond),
-		res.Stats.LoadDuration.Round(time.Millisecond),
-		res.Stats.LocalRankDuration.Round(time.Millisecond),
-		res.Stats.SiteRankDuration.Round(time.Millisecond),
-		res.Stats.Messages,
-		float64(res.Stats.BytesSent)/1e6,
-		float64(res.Stats.BytesReceived)/1e6)
+	var res *coordinator.Result
+	for run := 1; run <= *runs; run++ {
+		start := time.Now()
+		res, err = coord.RankPrepared(rk, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run %d: ranked in %v (load %v, local %v, siterank %v; %d messages, %.2f MB out, %.2f MB in)\n",
+			run,
+			time.Since(start).Round(time.Millisecond),
+			res.Stats.LoadDuration.Round(time.Millisecond),
+			res.Stats.LocalRankDuration.Round(time.Millisecond),
+			res.Stats.SiteRankDuration.Round(time.Millisecond),
+			res.Stats.Messages,
+			float64(res.Stats.BytesSent)/1e6,
+			float64(res.Stats.BytesReceived)/1e6)
+		fmt.Printf("run %d: cache %d hits / %d misses (%.2f MB of shards not re-shipped)",
+			run, res.Stats.CacheHits, res.Stats.CacheMisses,
+			float64(res.Stats.ShardBytesSaved)/1e6)
+		if res.Stats.WorkersLost > 0 {
+			fmt.Printf("; survived %d worker losses (%d shards reassigned, %d retries)",
+				res.Stats.WorkersLost, res.Stats.Reassignments, res.Stats.Retries)
+		}
+		if res.Stats.BatchMessagesSaved > 0 {
+			fmt.Printf("; batching saved %d SiteRank messages", res.Stats.BatchMessagesSaved)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
 
 	fmt.Printf("top %d by distributed Layered Method:\n", *top)
 	fmt.Printf("%-4s %-10s %s\n", "#", "score", "URL")

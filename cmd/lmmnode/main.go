@@ -46,7 +46,7 @@ func run() error {
 		return err
 	}
 	st := w.Stats()
-	fmt.Printf("lmmnode: served %d messages (%d bytes in, %d bytes out)\n",
-		st.Messages, st.BytesReceived, st.BytesSent)
+	fmt.Printf("lmmnode: served %d messages (%d bytes in, %d bytes out); cache held %d shards / %d docs\n",
+		st.Messages, st.BytesReceived, st.BytesSent, st.CacheEntries, st.CacheDocs)
 	return nil
 }

@@ -1,0 +1,53 @@
+// Package lmmrank is a Go implementation of "Using a Layered Markov Model
+// for Distributed Web Ranking Computation" (Wu & Aberer, ICDCS 2005): a
+// two-layer Markov model of the Web — sites above, documents below — whose
+// Partition Theorem makes the global ranking computable as one small
+// SiteRank composed with fully independent per-site DocRanks, enabling
+// decentralized (peer-to-peer) rank computation, link-spam resistance and
+// two-layer personalization.
+//
+// This root package is the stable facade over the internal packages:
+//
+//   - abstract Layered Markov Models (the paper's §2): Model, the four
+//     ranking approaches, multi-layer hierarchies;
+//   - Web ranking (§3): DocGraph construction, SiteGraph aggregation, the
+//     layered DocRank pipeline and the flat-PageRank baseline;
+//   - synthetic campus webs with ground-truth spam labels (the evaluation
+//     substrate standing in for the paper's EPFL crawl);
+//   - a distributed runtime: loopback or networked worker fleets driven by
+//     a coordinator over a gob/TCP RPC substrate, with page-count shard
+//     balancing, digest-keyed worker caches, batched SiteRank rounds and
+//     mid-run worker-loss recovery (DistRetryPolicy).
+//
+// Quick start:
+//
+//	model := lmmrank.PaperExample()
+//	ranking, err := lmmrank.LayeredMethod(model, lmmrank.Config{})
+//	...
+//	web := lmmrank.GenerateCampusWeb(lmmrank.CampusWebConfig{Seed: 1})
+//	res, err := lmmrank.LayeredDocRank(web.Graph, lmmrank.WebConfig{})
+//
+// # Performance contracts
+//
+// The serving path trades safety rails for zero steady-state
+// allocations; the contracts below are stated on the symbols they bind
+// and collected here because they span packages.
+//
+// Scratch aliasing: results returned by Ranker.Rank (the WebResult's
+// vectors) alias the Ranker's internal buffers and are valid only until
+// the next Rank on the same Ranker — clone to retain, or use the
+// one-shot LayeredDocRank whose result is safe to keep. Neither Ranker
+// nor the internal solvers are goroutine-safe; serialize access or hold
+// one per goroutine.
+//
+// Damping sentinel: a Damping (or Alpha) of exactly 0 in any config
+// selects the default 0.85 — an explicit zero cannot be requested, tiny
+// positive values are honored as given.
+//
+// Invalidation: a Ranker captures its DocGraph by reference and
+// precomputes derived structure from it; mutating the graph afterwards
+// (adding documents, links or sites) invalidates the Ranker — build a
+// new one. The same applies to the distributed runtime's shard digests:
+// an unchanged graph re-ranked via Coordinator.RankPrepared hits the
+// workers' caches, a mutated graph naturally misses.
+package lmmrank

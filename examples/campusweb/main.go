@@ -1,4 +1,4 @@
-// Campusweb regenerates the paper's empirical comparison (§3.3, Figures 3
+// Command campusweb regenerates the paper's empirical comparison (§3.3, Figures 3
 // and 4) on a synthetic campus web: flat PageRank's top list is dominated
 // by link-mass agglomerates (dynamic-script pages, javadoc mirrors) while
 // the LMM-based Layered Method surfaces the genuinely authoritative pages.

@@ -1,4 +1,4 @@
-// Crawlandrank reproduces the paper's full data pipeline (§3.3): crawl a
+// Command crawlandrank reproduces the paper's full data pipeline (§3.3): crawl a
 // campus web from its university home page — including the dynamic pages
 // other studies excluded — then rank the captured snapshot. It also shows
 // the churn path: a site changes after the crawl and the ranking is

@@ -1,10 +1,16 @@
-// Distributed runs the paper's peer-to-peer vision end to end on one
-// machine: a fleet of worker peers on loopback TCP, each hosting a share
-// of the campus web's sites and computing local DocRanks independently; a
-// coordinator computes the SiteRank, composes the global ranking by the
-// Partition Theorem, and verifies it against the single-process result.
+// Command distributed runs the paper's peer-to-peer vision end to end
+// on one machine: a fleet of worker peers on loopback TCP, each hosting
+// a share of the campus web's sites (balanced by page count) and
+// computing local DocRanks independently; a coordinator computes the
+// SiteRank, composes the global ranking by the Partition Theorem, and
+// verifies it against the single-process result.
 //
-//	go run ./examples/distributed [-workers 4] [-decentral-siterank]
+// It then demonstrates the production traits of the runtime: a second
+// run against the workers' digest caches ships almost no shard bytes,
+// and a worker killed between runs is survived by reassigning its
+// shards to the remaining peers.
+//
+//	go run ./examples/distributed [-workers 4] [-decentral-siterank] [-batch-rounds 4]
 package main
 
 import (
@@ -20,6 +26,8 @@ func main() {
 	workers := flag.Int("workers", 4, "number of worker peers")
 	decentral := flag.Bool("decentral-siterank", false,
 		"also compute the SiteRank by distributed power iteration")
+	batch := flag.Int("batch-rounds", 0,
+		"SiteRank power rounds per exchange (with -decentral-siterank)")
 	flag.Parse()
 
 	web := lmmrank.GenerateCampusWeb(lmmrank.CampusWebConfig{
@@ -38,22 +46,41 @@ func main() {
 	defer cl.Close()
 	fmt.Printf("cluster: %d workers on %v\n\n", len(cl.Workers), cl.Addrs)
 
-	start := time.Now()
-	res, err := cl.Coord.Rank(web.Graph, lmmrank.DistConfig{
-		DistributedSiteRank: *decentral,
-	})
+	// Precompute the serving structure once; repeated runs then only pay
+	// for shipping (first run) and ranking.
+	rk, err := lmmrank.NewRanker(web.Graph, lmmrank.RankerOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("distributed ranking in %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  load sites:   %v\n", res.Stats.LoadDuration.Round(time.Millisecond))
-	fmt.Printf("  local ranks:  %v (computed on the peers)\n", res.Stats.LocalRankDuration.Round(time.Millisecond))
-	fmt.Printf("  siterank:     %v", res.Stats.SiteRankDuration.Round(time.Millisecond))
-	if *decentral {
-		fmt.Printf(" (%d distributed power rounds)", res.Stats.SiteRankRounds)
+	cfg := lmmrank.DistConfig{
+		DistributedSiteRank: *decentral,
+		BatchRounds:         *batch,
+		Retry:               lmmrank.DistRetryPolicy{MaxWorkerFailures: 1},
 	}
-	fmt.Printf("\n  transport:    %d messages, %.2f MB out, %.2f MB in\n\n",
-		res.Stats.Messages, float64(res.Stats.BytesSent)/1e6, float64(res.Stats.BytesReceived)/1e6)
+
+	var res *lmmrank.DistResult
+	for run := 1; run <= 2; run++ {
+		start := time.Now()
+		res, err = cl.Coord.RankPrepared(rk, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: distributed ranking in %v\n", run, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  load sites:   %v (%d cache hits, %d misses, %.2f MB not re-shipped)\n",
+			res.Stats.LoadDuration.Round(time.Millisecond),
+			res.Stats.CacheHits, res.Stats.CacheMisses, float64(res.Stats.ShardBytesSaved)/1e6)
+		fmt.Printf("  local ranks:  %v (computed on the peers)\n", res.Stats.LocalRankDuration.Round(time.Millisecond))
+		fmt.Printf("  siterank:     %v", res.Stats.SiteRankDuration.Round(time.Millisecond))
+		if *decentral {
+			fmt.Printf(" (%d distributed power rounds", res.Stats.SiteRankRounds)
+			if res.Stats.BatchMessagesSaved > 0 {
+				fmt.Printf(", batching saved %d messages", res.Stats.BatchMessagesSaved)
+			}
+			fmt.Printf(")")
+		}
+		fmt.Printf("\n  transport:    %d messages, %.2f MB out, %.2f MB in\n\n",
+			res.Stats.Messages, float64(res.Stats.BytesSent)/1e6, float64(res.Stats.BytesReceived)/1e6)
+	}
 
 	// Verify the Partition Theorem held across the wire.
 	local, err := lmmrank.LayeredDocRank(web.Graph, lmmrank.WebConfig{})
@@ -61,6 +88,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("‖distributed − single-process‖₁ = %.2e\n\n", res.DocRank.L1Diff(local.DocRank))
+
+	// Fault tolerance: kill a peer and rank again. Its shards are
+	// reassigned to the survivors; the ranking is unchanged.
+	if len(cl.Workers) > 1 {
+		if err := cl.Kill(len(cl.Workers) - 1); err != nil {
+			log.Fatal(err)
+		}
+		res, err = cl.Coord.RankPrepared(rk, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after killing one worker: %d lost, %d shards reassigned, ‖Δ‖₁ = %.2e\n\n",
+			res.Stats.WorkersLost, res.Stats.Reassignments, res.DocRank.L1Diff(local.DocRank))
+	}
 
 	fmt.Println("top 10 documents (distributed Layered Method):")
 	for i, e := range lmmrank.TopDocs(web.Graph, res.DocRank, 10) {

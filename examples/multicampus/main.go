@@ -1,4 +1,4 @@
-// Multicampus demonstrates the multi-layer extension (§2.2) at web scale:
+// Command multicampus demonstrates the multi-layer extension (§2.2) at web scale:
 // three federated campuses, each its own domain, ranked with the
 // three-layer domain → site → page model. The recursive Partition
 // argument composes DomainRank × site entry × local DocRank; with a single

@@ -1,4 +1,4 @@
-// Paperexample reproduces the worked example of the paper's §2.3: the
+// Command paperexample reproduces the worked example of the paper's §2.3: the
 // 12-state Layered Markov Model, all four ranking approaches, and the
 // Partition Theorem equality (Corollary 1) — the numbers of Figure 2.
 //

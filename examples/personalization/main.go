@@ -1,4 +1,4 @@
-// Personalization demonstrates the paper's §3.2 claim that the layered
+// Command personalization demonstrates the paper's §3.2 claim that the layered
 // method personalizes "in an elegant way" at both layers: biasing the
 // site-layer teleport promotes a whole site, biasing one site's
 // document-layer teleport promotes pages within it, and the two compose.

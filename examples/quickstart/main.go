@@ -1,4 +1,4 @@
-// Quickstart: build a tiny two-site web, run the layered ranking and the
+// Command quickstart: build a tiny two-site web, run the layered ranking and the
 // flat PageRank baseline, and print both top lists.
 //
 //	go run ./examples/quickstart

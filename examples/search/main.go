@@ -1,4 +1,4 @@
-// Search demonstrates the paper's future work (§4): combining query-based
+// Command search demonstrates the paper's future work (§4): combining query-based
 // ranking (a TF-IDF vector space model) with link-based ranking (the
 // layered DocRank). The same query is answered with pure text scores and
 // with fused scores, showing how link evidence reorders equally-relevant

@@ -54,6 +54,17 @@ func StartLocal(n int) (*Local, error) {
 	return l, nil
 }
 
+// Kill abruptly stops worker i (dropping its connections mid-protocol),
+// simulating a peer dying mid-run — the failure mode the coordinator's
+// RetryPolicy recovers from. The worker cannot be restarted; tests and
+// chaos experiments use Kill to exercise shard reassignment.
+func (l *Local) Kill(i int) error {
+	if i < 0 || i >= len(l.Workers) {
+		return fmt.Errorf("cluster: kill worker %d of %d", i, len(l.Workers))
+	}
+	return l.Workers[i].Close()
+}
+
 // Close hangs up the coordinator and stops every worker. Calling Close
 // again is a no-op.
 func (l *Local) Close() error {

@@ -248,3 +248,144 @@ func TestRankPrepared(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedSiteRankMatchesUnbatched is the round-batching correctness
+// claim: exchanging K power rounds per message against the replicated
+// chain must reproduce the one-round-per-exchange protocol to summation
+// rounding (<1e-9), while measurably cutting message count.
+func TestBatchedSiteRankMatchesUnbatched(t *testing.T) {
+	web := testWeb()
+	cl, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+
+	unbatched, err := cl.Coord.Rank(web.Graph, coordinator.Config{DistributedSiteRank: true})
+	if err != nil {
+		t.Fatalf("unbatched Rank: %v", err)
+	}
+	batched, err := cl.Coord.Rank(web.Graph, coordinator.Config{DistributedSiteRank: true, BatchRounds: 4})
+	if err != nil {
+		t.Fatalf("batched Rank: %v", err)
+	}
+
+	if d := batched.DocRank.L1Diff(unbatched.DocRank); d >= 1e-9 {
+		t.Errorf("‖batched − unbatched‖₁ on DocRank = %g, want < 1e-9", d)
+	}
+	if d := batched.SiteRank.L1Diff(unbatched.SiteRank); d >= 1e-9 {
+		t.Errorf("‖batched − unbatched‖₁ on SiteRank = %g, want < 1e-9", d)
+	}
+	if batched.Stats.BatchMessagesSaved <= 0 {
+		t.Errorf("BatchMessagesSaved = %d, want > 0", batched.Stats.BatchMessagesSaved)
+	}
+	if batched.Stats.Messages >= unbatched.Stats.Messages {
+		t.Errorf("batched run used %d messages, unbatched %d — batching must cut message count",
+			batched.Stats.Messages, unbatched.Stats.Messages)
+	}
+	if batched.Stats.SiteRankRounds == 0 {
+		t.Error("batched run recorded no SiteRank rounds")
+	}
+}
+
+// TestShardCacheSkipsReshipping is the streaming-load claim: a repeated
+// RankPrepared against warm workers negotiates every shard as a digest
+// hit and ships (nearly) no shard bytes, visible both in the cache
+// counters and the measured wire traffic.
+func TestShardCacheSkipsReshipping(t *testing.T) {
+	web := testWeb()
+	rk, err := lmm.NewRanker(web.Graph, lmm.RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	cl, err := StartLocal(2)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+
+	cold, err := cl.Coord.RankPrepared(rk, coordinator.Config{})
+	if err != nil {
+		t.Fatalf("cold RankPrepared: %v", err)
+	}
+	warm, err := cl.Coord.RankPrepared(rk, coordinator.Config{})
+	if err != nil {
+		t.Fatalf("warm RankPrepared: %v", err)
+	}
+
+	ns := web.Graph.NumSites()
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses != ns {
+		t.Errorf("cold run: %d hits / %d misses, want 0 / %d",
+			cold.Stats.CacheHits, cold.Stats.CacheMisses, ns)
+	}
+	if warm.Stats.CacheHits != ns || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm run: %d hits / %d misses, want %d / 0",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, ns)
+	}
+	if warm.Stats.ShardBytesSaved == 0 {
+		t.Error("warm run reports no shard bytes saved")
+	}
+	// The warm run still pays for offers, rank-locals and the SiteRank,
+	// but the shard payload — the dominant load cost — is gone.
+	if warm.Stats.BytesSent*3 >= cold.Stats.BytesSent {
+		t.Errorf("warm run sent %d bytes vs cold %d — cache hits should shrink traffic by > 3x",
+			warm.Stats.BytesSent, cold.Stats.BytesSent)
+	}
+	if d := warm.DocRank.L1Diff(cold.DocRank); d != 0 {
+		t.Errorf("warm run's DocRank differs from cold by %g, want bitwise equality", d)
+	}
+	for i, w := range cl.Workers {
+		if st := w.Stats(); st.CacheEntries == 0 || st.CacheDocs == 0 {
+			t.Errorf("worker %d cache gauges empty after two runs: %+v", i, st)
+		}
+	}
+}
+
+// TestRecoversFromWorkerKilledBetweenRuns kills a real worker under a
+// live coordinator and re-ranks with a retry budget: the death is
+// discovered at the next exchange, the dead peer's shards are
+// reassigned, and the result matches the single-node reference.
+func TestRecoversFromWorkerKilledBetweenRuns(t *testing.T) {
+	web := testWeb()
+	ref, err := lmm.LayeredDocRank(web.Graph, lmm.WebConfig{})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	cl, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Coord.Rank(web.Graph, coordinator.Config{}); err != nil {
+		t.Fatalf("first Rank: %v", err)
+	}
+	if err := cl.Kill(2); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	res, err := cl.Coord.Rank(web.Graph, coordinator.Config{
+		Retry: coordinator.RetryPolicy{MaxWorkerFailures: 1},
+	})
+	if err != nil {
+		t.Fatalf("Rank after kill: %v", err)
+	}
+	if d := res.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+		t.Errorf("‖post-kill − reference‖₁ = %g, want < 1e-9", d)
+	}
+	if res.Stats.WorkersLost != 1 || res.Stats.Reassignments < 1 {
+		t.Errorf("Stats after kill: lost=%d reassigned=%d, want 1 and >= 1",
+			res.Stats.WorkersLost, res.Stats.Reassignments)
+	}
+	// A third run must not re-discover the dead worker: it starts from
+	// the two survivors and needs no retry budget at all.
+	again, err := cl.Coord.Rank(web.Graph, coordinator.Config{})
+	if err != nil {
+		t.Fatalf("Rank on the shrunken fleet: %v", err)
+	}
+	if again.Stats.WorkersLost != 0 {
+		t.Errorf("shrunken-fleet run reports %d losses, want 0", again.Stats.WorkersLost)
+	}
+	if d := again.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+		t.Errorf("‖shrunken-fleet − reference‖₁ = %g, want < 1e-9", d)
+	}
+}

@@ -1,0 +1,42 @@
+package coordinator
+
+import "sort"
+
+// assignSites partitions sites over workers by weighted LPT (longest
+// processing time) bin packing: sites sorted by descending document
+// count each land on the currently lightest-loaded worker. LPT's max
+// load is within 4/3 of optimal, which on skewed site-size
+// distributions beats round-robin by a wide margin — one giant site no
+// longer drags every (site mod N)-collided small site onto the same
+// peer, so the local-rank phase's wall clock (the max over workers)
+// shrinks.
+//
+// workers lists the usable fleet indices; load is the fleet-sized
+// accumulator the chosen loads are added into (callers reuse it when
+// reassigning after a loss). The returned owner[s] is a fleet index.
+// Fully deterministic: size ties break toward the lower site ID,
+// load ties toward the earlier listed worker.
+func assignSites(sizes []int, workers []int, load []int) []int {
+	order := make([]int, len(sizes))
+	for s := range order {
+		order[s] = s
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	owner := make([]int, len(sizes))
+	for _, s := range order {
+		best := workers[0]
+		for _, w := range workers[1:] {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		owner[s] = best
+		load[best] += sizes[s]
+	}
+	return owner
+}

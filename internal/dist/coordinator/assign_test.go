@@ -1,0 +1,82 @@
+package coordinator
+
+import "testing"
+
+func maxLoad(sizes []int, owner []int, nWorkers int) int {
+	load := make([]int, nWorkers)
+	for s, w := range owner {
+		load[w] += sizes[s]
+	}
+	m := 0
+	for _, l := range load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TestAssignSitesBeatsRoundRobinOnSkew is the balancing claim: on a
+// skewed site-size distribution, weighted LPT's bottleneck worker holds
+// strictly less than round-robin's (the local-rank phase's wall clock
+// is the max over workers, so this is the number that matters).
+func TestAssignSitesBeatsRoundRobinOnSkew(t *testing.T) {
+	// One big site plus a tail — the shape real webs have. Round-robin
+	// by SiteID collides the big site with every (s mod 2 == 0) small
+	// one.
+	sizes := []int{400, 10, 90, 10, 80, 10, 70, 10, 60, 10}
+	workers := []int{0, 1}
+
+	owner := assignSites(sizes, workers, make([]int, 2))
+	for s, w := range owner {
+		if w != 0 && w != 1 {
+			t.Fatalf("site %d assigned to unknown worker %d", s, w)
+		}
+	}
+	lpt := maxLoad(sizes, owner, 2)
+
+	rr := make([]int, len(sizes))
+	for s := range rr {
+		rr[s] = s % 2
+	}
+	rrMax := maxLoad(sizes, rr, 2)
+
+	if lpt >= rrMax {
+		t.Errorf("LPT bottleneck %d docs, round-robin %d — LPT must be strictly better on this fixture", lpt, rrMax)
+	}
+	// LPT is within 4/3 of the lower bound (total/2 here, since the
+	// biggest site fits in half the total).
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if lim := (total/2)*4/3 + 1; lpt > lim {
+		t.Errorf("LPT bottleneck %d exceeds the 4/3 bound %d", lpt, lim)
+	}
+}
+
+// TestAssignSitesDeterministic pins that assignment is a pure function
+// of sizes and fleet — losses aside, reruns must partition identically
+// (bitwise-identical distributed results depend on it).
+func TestAssignSitesDeterministic(t *testing.T) {
+	sizes := []int{5, 5, 5, 3, 3, 8, 1, 0, 2, 5}
+	a := assignSites(sizes, []int{0, 1, 2}, make([]int, 3))
+	b := assignSites(sizes, []int{0, 1, 2}, make([]int, 3))
+	for s := range a {
+		if a[s] != b[s] {
+			t.Fatalf("assignment differs at site %d: %d vs %d", s, a[s], b[s])
+		}
+	}
+}
+
+// TestAssignSitesSkipsMissingWorkers covers reassignment's shape: the
+// usable fleet may be any subset of indices.
+func TestAssignSitesSkipsMissingWorkers(t *testing.T) {
+	sizes := []int{4, 4, 4, 4}
+	owner := assignSites(sizes, []int{1, 3}, make([]int, 4))
+	for s, w := range owner {
+		if w != 1 && w != 3 {
+			t.Fatalf("site %d assigned to dead worker %d", s, w)
+		}
+	}
+}

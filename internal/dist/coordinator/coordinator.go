@@ -2,8 +2,20 @@
 // Layered Method (§3.2 run across a fleet): it partitions a DocGraph by
 // site over gob/TCP workers, dispatches the per-site local DocRanks to
 // the peers, computes the SiteRank either centrally or by distributed
-// power iteration over worker-held rows of M(G_S), and composes the
-// global DocRank by the Partition Theorem.
+// power iteration, and composes the global DocRank by the Partition
+// Theorem.
+//
+// The runtime is production-shaped along three axes. Fault tolerance:
+// with a RetryPolicy budget, a peer dying mid-run is detected at the
+// failing exchange, its site shards are reassigned to the lightest
+// surviving workers and only the affected work is re-run. Balance:
+// sites are spread by document count (weighted LPT bin packing), not
+// round-robin, so one giant site cannot serialize the fleet. Wire cost:
+// shards are content-addressed and negotiated against worker-side
+// digest caches before shipping (repeated runs over an unchanged graph
+// ship near-zero shard bytes), and Config.BatchRounds trades one
+// replicated site-chain shipment for K× fewer SiteRank exchanges. All
+// of it is accounted in per-run Stats.
 package coordinator
 
 import (
@@ -30,6 +42,20 @@ const DefaultDialTimeout = 3 * time.Second
 // because one exchange may cover a worker's whole local-rank batch.
 const DefaultCallTimeout = 2 * time.Minute
 
+// RetryPolicy bounds how much mid-run fault tolerance a distributed
+// run buys. The zero value preserves strict behavior: the first worker
+// loss fails the run.
+type RetryPolicy struct {
+	// MaxWorkerFailures is how many worker losses one run may absorb.
+	// Each loss marks the peer dead for the rest of the run, reassigns
+	// its site shards to the surviving workers (lightest-loaded first)
+	// and re-runs only the affected work: the undelivered shards, the
+	// lost sites' local DocRanks, or the in-flight SiteRank round.
+	// Worker-side errors (a live peer answering with Response.Err) are
+	// never retried — they mean a protocol or input bug, not a death.
+	MaxWorkerFailures int
+}
+
 // Config parameterizes one distributed ranking run.
 type Config struct {
 	// Damping is the PageRank damping factor / gatekeeper α. Zero is a
@@ -48,6 +74,22 @@ type Config struct {
 	// power rounds in which each worker multiplies the iterate by the
 	// rows of the site chain it owns.
 	DistributedSiteRank bool
+	// BatchRounds asks the distributed SiteRank to run up to this many
+	// power rounds per wire exchange (values <= 1 select the classic
+	// one-round-per-exchange protocol; ignored without
+	// DistributedSiteRank). Batching replicates the full normalized
+	// site chain onto every worker at load time — cheap, because the
+	// site layer is small (the paper's point) and the chain is digest-
+	// cached like any shard — and then each exchange covers K rounds on
+	// one worker, cutting SiteRank messages by ~K·NumWorkers while
+	// agreeing with the unbatched path to < 1e-9 (summation-order
+	// rounding only). A worker lost mid-batch fails over to the next
+	// live worker without any reassignment, since every peer holds the
+	// chain.
+	BatchRounds int
+	// Retry controls mid-run fault tolerance; the zero value disables
+	// recovery.
+	Retry RetryPolicy
 }
 
 func (c Config) damping() float64 {
@@ -71,6 +113,13 @@ func (c Config) maxIter() int {
 	return c.MaxIter
 }
 
+func (c Config) batchRounds() int {
+	if c.BatchRounds < 1 {
+		return 1
+	}
+	return c.BatchRounds
+}
+
 // Stats breaks down the cost of a distributed run.
 type Stats struct {
 	// LoadDuration covers partitioning and shipping the site shards.
@@ -88,6 +137,24 @@ type Stats struct {
 	Messages      uint64
 	BytesSent     uint64
 	BytesReceived uint64
+	// WorkersLost counts peers that died mid-run; Reassignments counts
+	// site shards moved to a surviving worker because of those losses;
+	// Retries counts recovery re-executions (a re-ranked shard batch, a
+	// redone power round, a failed-over batch exchange).
+	WorkersLost   int
+	Reassignments int
+	Retries       int
+	// CacheHits counts shards (and site chains) the workers already
+	// held by digest and did not need shipped; CacheMisses counts the
+	// ones shipped in full. ShardBytesSaved estimates the payload bytes
+	// the hits avoided (estimated from shard shape, not measured).
+	CacheHits       int
+	CacheMisses     int
+	ShardBytesSaved uint64
+	// BatchMessagesSaved estimates the SiteRank exchanges avoided by
+	// round batching: rounds × live workers (the unbatched protocol's
+	// cost) minus the batch exchanges actually made.
+	BatchMessagesSaved int
 }
 
 // Result is the outcome of a distributed ranking run.
@@ -104,6 +171,13 @@ type Result struct {
 	Stats Stats
 }
 
+// errLost marks transport-level call failures: the peer is dead,
+// partitioned, or its stream is desynchronized, and the connection is
+// poisoned either way. Loss errors are the retriable class RetryPolicy
+// recovers from; worker-side Response.Err failures are not — the peer
+// is alive and refusing, which means a bug, not a death.
+var errLost = errors.New("worker lost")
+
 // remote is one connected worker. Its gob stream is strictly
 // request/response, so a mutex serializes users of the connection.
 type remote struct {
@@ -118,12 +192,12 @@ type remote struct {
 // timeout — leaves the request/response stream desynchronized (a late
 // response could pair with the next request), so it marks the remote
 // broken and closes the connection; later calls fail fast rather than
-// silently consuming stale payloads.
+// silently consuming stale payloads. Transport failures wrap errLost.
 func (r *remote) call(req *wire.Request, counters *wire.Counters, timeout time.Duration) (*wire.Response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.broken {
-		return nil, fmt.Errorf("coordinator: %s: connection broken by an earlier failure", r.addr)
+		return nil, fmt.Errorf("coordinator: %s: connection broken by an earlier failure: %w", r.addr, errLost)
 	}
 	if timeout > 0 {
 		r.conn.SetDeadline(time.Now().Add(timeout))
@@ -131,12 +205,12 @@ func (r *remote) call(req *wire.Request, counters *wire.Counters, timeout time.D
 	}
 	if err := r.conn.Enc.Encode(req); err != nil {
 		r.markBroken()
-		return nil, fmt.Errorf("coordinator: send to %s: %w", r.addr, err)
+		return nil, fmt.Errorf("coordinator: send to %s: %w: %w", r.addr, err, errLost)
 	}
 	var resp wire.Response
 	if err := r.conn.Dec.Decode(&resp); err != nil {
 		r.markBroken()
-		return nil, fmt.Errorf("coordinator: receive from %s: %w", r.addr, err)
+		return nil, fmt.Errorf("coordinator: receive from %s: %w: %w", r.addr, err, errLost)
 	}
 	counters.AddMessage()
 	if resp.Err != "" {
@@ -151,6 +225,13 @@ func (r *remote) call(req *wire.Request, counters *wire.Counters, timeout time.D
 func (r *remote) markBroken() {
 	r.broken = true
 	r.conn.Close()
+}
+
+// isBroken reports whether an earlier failure poisoned the connection.
+func (r *remote) isBroken() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.broken
 }
 
 // Coordinator drives a fleet of workers through ranking runs.
@@ -205,7 +286,9 @@ func DialTimeout(addrs []string, timeout time.Duration) (*Coordinator, error) {
 // NumWorkers returns the fleet size.
 func (c *Coordinator) NumWorkers() int { return len(c.workers) }
 
-// Ping round-trips a liveness probe to every worker concurrently. It
+// Ping round-trips a liveness probe to every worker concurrently
+// (including ones whose connections earlier failures poisoned — those
+// report errors, which is how callers learn the fleet shrank). It
 // serializes with Rank so probe traffic never lands inside a run's
 // per-run Stats deltas.
 func (c *Coordinator) Ping() error {
@@ -277,7 +360,8 @@ func (c *Coordinator) broadcastErr(fn func(idx int, r *remote) error) error {
 //
 // It builds a throwaway lmm.Ranker for the run; callers ranking the same
 // graph repeatedly should precompute one and call RankPrepared, which
-// skips the SiteGraph derivation and subgraph extraction entirely.
+// skips the SiteGraph derivation and subgraph extraction entirely (and,
+// paired with the workers' digest caches, skips re-shipping shards too).
 func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 	// Build the Ranker under runMu: NewRanker dedupes the shared graph
 	// (a mutation), and concurrent Rank calls are allowed as long as
@@ -293,7 +377,9 @@ func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 
 // RankPrepared is Rank over a precomputed lmm.Ranker: the SiteGraph and
 // all local subgraphs come from the Ranker's one-time precomputation, so
-// repeated runs over the same graph only pay for shipping and ranking.
+// repeated runs over the same graph only pay for shipping and ranking —
+// and since workers cache shards by content digest, a repeated run over
+// an unchanged graph ships (almost) no shard bytes at all.
 // cfg.SiteGraph is ignored — that choice was fixed when the Ranker was
 // built. The Ranker must not be used concurrently by another goroutine
 // while a run is in flight.
@@ -301,234 +387,4 @@ func (c *Coordinator) RankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) 
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
 	return c.rankPrepared(rk, cfg)
-}
-
-// rankPrepared runs one ranking; the caller holds runMu.
-func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		return nil, errors.New("coordinator: closed")
-	}
-	// Validate damping up front so the distributed SiteRank path rejects
-	// bad values exactly like the central pagerank path does.
-	if f := cfg.damping(); f <= 0 || f >= 1 {
-		return nil, fmt.Errorf("coordinator: %w: damping %g outside (0,1)", pagerank.ErrBadConfig, f)
-	}
-
-	startMsgs, startOut, startIn := c.counters.Messages(), c.counters.BytesSent(), c.counters.BytesReceived()
-	res := &Result{}
-	dg := rk.DocGraph()
-	ns := dg.NumSites()
-
-	// Steps 1–2 were precomputed by the Ranker.
-	sg := rk.SiteGraph()
-
-	// Partition and ship. Site s goes to worker s mod N — deterministic
-	// and roughly balanced for the near-uniform site sizes of campus
-	// webs (smarter policies are a follow-on).
-	loadStart := time.Now()
-	if err := c.broadcastErr(func(_ int, r *remote) error {
-		_, err := r.call(&wire.Request{Kind: wire.KindReset}, &c.counters, c.callTimeout())
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	batches := c.partition(rk, sg, cfg)
-	if err := c.broadcastErr(func(idx int, r *remote) error {
-		// Even shardless workers get a Load so they learn the site-space
-		// dimension and can answer power rounds with a zero partial.
-		_, err := r.call(&wire.Request{
-			Kind:     wire.KindLoad,
-			NumSites: ns,
-			Shards:   batches[idx],
-		}, &c.counters, c.callTimeout())
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	res.Stats.LoadDuration = time.Since(loadStart)
-
-	// Step 3 on the fleet: local DocRanks, all workers concurrently.
-	localStart := time.Now()
-	localRanks := make([]matrix.Vector, ns)
-	localIters := make([]int, ns)
-	var localMu sync.Mutex
-	if err := c.broadcastErr(func(idx int, r *remote) error {
-		if len(batches[idx]) == 0 {
-			return nil
-		}
-		resp, err := r.call(&wire.Request{
-			Kind:    wire.KindRankLocal,
-			Damping: cfg.Damping,
-			Tol:     cfg.Tol,
-			MaxIter: cfg.MaxIter,
-		}, &c.counters, c.callTimeout())
-		if err != nil {
-			return err
-		}
-		localMu.Lock()
-		defer localMu.Unlock()
-		for _, lr := range resp.Local {
-			if lr.Site < 0 || lr.Site >= ns {
-				return fmt.Errorf("coordinator: %s returned rank for unknown site %d", r.addr, lr.Site)
-			}
-			// Ownership check: a confused worker must not silently
-			// overwrite another worker's results.
-			if lr.Site%len(c.workers) != idx {
-				return fmt.Errorf("coordinator: %s returned rank for site %d owned by worker %d",
-					r.addr, lr.Site, lr.Site%len(c.workers))
-			}
-			localRanks[lr.Site] = lr.Scores
-			localIters[lr.Site] = lr.Iterations
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	for s := 0; s < ns; s++ {
-		want := dg.SiteSize(graph.SiteID(s))
-		if localRanks[s] == nil && want > 0 {
-			return nil, fmt.Errorf("coordinator: no local rank received for site %d", s)
-		}
-		if len(localRanks[s]) != want {
-			return nil, fmt.Errorf("coordinator: site %d local rank has %d entries, want %d",
-				s, len(localRanks[s]), want)
-		}
-	}
-	res.Stats.LocalRankDuration = time.Since(localStart)
-
-	// Step 4: SiteRank, central or decentralized.
-	siteStart := time.Now()
-	var siteRank matrix.Vector
-	if cfg.DistributedSiteRank {
-		var rounds int
-		var err error
-		siteRank, rounds, err = c.distributedSiteRank(ns, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Stats.SiteRankRounds = rounds
-	} else {
-		scores, rounds, err := rk.RankSites(lmm.WebConfig{
-			Damping: cfg.Damping,
-			Tol:     cfg.Tol,
-			MaxIter: cfg.MaxIter,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("coordinator: %w", err)
-		}
-		// RankSites aliases the Ranker's scratch; the Result outlives
-		// this run, so copy the small site vector out.
-		siteRank = scores.Clone()
-		res.Stats.SiteRankRounds = rounds
-	}
-	res.Stats.SiteRankDuration = time.Since(siteStart)
-
-	// Step 5: composition by the Partition Theorem, shared with the
-	// in-process pipeline.
-	res.SiteRank = siteRank
-	res.DocRank = lmm.ComposeDocRank(dg, siteRank, localRanks)
-	res.LocalIterations = localIters
-
-	res.Stats.Messages = c.counters.Messages() - startMsgs
-	res.Stats.BytesSent = c.counters.BytesSent() - startOut
-	res.Stats.BytesReceived = c.counters.BytesReceived() - startIn
-	return res, nil
-}
-
-// partition builds each worker's shard batch: for site s, the Ranker's
-// precomputed local subgraph G^s_d in compact local indices — plus row s
-// of the normalized site transition matrix, but only when the
-// decentralized SiteRank will consume it (central mode skips that wire
-// cost).
-func (c *Coordinator) partition(rk *lmm.Ranker, sg *graph.SiteGraph, cfg Config) [][]wire.SiteShard {
-	nw := len(c.workers)
-	batches := make([][]wire.SiteShard, nw)
-	for s := 0; s < rk.NumSites(); s++ {
-		sub, _ := rk.LocalSubgraph(graph.SiteID(s))
-		shard := wire.SiteShard{
-			Site:    s,
-			NumDocs: sub.NumNodes(),
-		}
-		sub.EachEdgeAll(func(from int, e graph.Edge) {
-			shard.Edges = append(shard.Edges, wire.Edge{From: from, To: e.To, Weight: e.Weight})
-		})
-		total := 0.0
-		if cfg.DistributedSiteRank {
-			total = sg.G.OutWeight(s)
-		}
-		if total > 0 {
-			sg.G.EachEdge(s, func(e graph.Edge) {
-				shard.RowCols = append(shard.RowCols, e.To)
-				shard.RowVals = append(shard.RowVals, e.Weight/total)
-			})
-		}
-		w := s % nw
-		batches[w] = append(batches[w], shard)
-	}
-	return batches
-}
-
-// distributedSiteRank runs the damped power method x' ← x'Mˆ(G_S)
-// without ever holding M(G_S) product-side: each round, every worker
-// returns the partial product over the rows it owns plus its dangling
-// mass; the coordinator sums partials in fixed worker order (float
-// determinism), applies the teleport correction exactly as the central
-// pagerank.Operator does, and normalizes. The per-round exchange is a
-// vector of N_S floats each way — the paper's small site-layer cost.
-func (c *Coordinator) distributedSiteRank(ns int, cfg Config) (matrix.Vector, int, error) {
-	f := cfg.damping()
-	tol := cfg.tol()
-	maxIter := cfg.maxIter()
-	uniform := 1.0 / float64(ns)
-
-	x := matrix.Uniform(ns)
-	next := matrix.NewVector(ns)
-	partials := make([][]float64, len(c.workers))
-	dangling := make([]float64, len(c.workers))
-
-	for round := 1; round <= maxIter; round++ {
-		if err := c.broadcastErr(func(idx int, r *remote) error {
-			resp, err := r.call(&wire.Request{
-				Kind:     wire.KindPowerRound,
-				NumSites: ns,
-				X:        x,
-			}, &c.counters, c.callTimeout())
-			if err != nil {
-				return err
-			}
-			if len(resp.Partial) != ns {
-				return fmt.Errorf("coordinator: %s returned partial of length %d, want %d",
-					r.addr, len(resp.Partial), ns)
-			}
-			partials[idx] = resp.Partial
-			dangling[idx] = resp.DanglingMass
-			return nil
-		}); err != nil {
-			return nil, round, err
-		}
-
-		// Reduce in worker order, then apply Mˆ's rank-one terms:
-		// y = f·(x'M) + (f·danglingMass + (1−f)·Σx)·v, v uniform.
-		next.Fill(0)
-		var dangMass float64
-		for i := range partials {
-			next.AddScaled(1, partials[i])
-			dangMass += dangling[i]
-		}
-		coeff := f*dangMass + (1-f)*x.Sum()
-		for t := range next {
-			next[t] = f*next[t] + coeff*uniform
-		}
-		next.Normalize()
-		residual := next.L1Diff(x)
-		x, next = next, x
-		if residual <= tol {
-			return x, round, nil
-		}
-	}
-	return x, maxIter, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
-		matrix.ErrNotConverged, maxIter)
 }

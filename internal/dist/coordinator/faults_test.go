@@ -1,0 +1,300 @@
+package coordinator
+
+import (
+	"encoding/gob"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+
+	"lmmrank/internal/dist/wire"
+	"lmmrank/internal/graph"
+	"lmmrank/internal/lmm"
+)
+
+// fakeWorker is a scripted peer speaking just enough of the wire
+// protocol to die deterministically at a chosen request kind: it
+// answers every request correctly (including real local DocRanks and
+// power-round partials over the shards it was shipped) until the first
+// request of kind dieOn arrives, at which point it hangs up
+// mid-protocol — exactly what a peer crashing mid-run looks like to the
+// coordinator. It never claims cache hits, so every shard reaches it in
+// full.
+type fakeWorker struct {
+	t     *testing.T
+	ln    net.Listener
+	dieOn wire.Kind
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func startFakeWorker(t *testing.T, dieOn wire.Kind) (*fakeWorker, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	f := &fakeWorker{t: t, ln: ln, dieOn: dieOn}
+	go f.serve()
+	t.Cleanup(func() { ln.Close() })
+	return f, ln.Addr().String()
+}
+
+// died reports whether the scripted death was triggered.
+func (f *fakeWorker) died() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+func (f *fakeWorker) serve() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		go f.serveConn(conn)
+	}
+}
+
+func (f *fakeWorker) serveConn(conn net.Conn) {
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	shards := make(map[int]wire.SiteShard)
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if req.Kind == f.dieOn {
+			f.mu.Lock()
+			f.dead = true
+			f.mu.Unlock()
+			return // hang up mid-protocol: the scripted death
+		}
+		resp := f.handle(shards, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (f *fakeWorker) handle(shards map[int]wire.SiteShard, req *wire.Request) *wire.Response {
+	switch req.Kind {
+	case wire.KindPing, wire.KindReset, wire.KindOffer:
+		// An empty Offer answer means "nothing cached" — full shipment.
+		return &wire.Response{}
+	case wire.KindLoad:
+		for _, s := range req.Shards {
+			shards[s.Site] = s
+		}
+		return &wire.Response{}
+	case wire.KindRankLocal:
+		sites := append([]int(nil), req.Sites...)
+		if len(sites) == 0 {
+			for s := range shards {
+				sites = append(sites, s)
+			}
+		}
+		sort.Ints(sites)
+		resp := &wire.Response{}
+		for _, site := range sites {
+			s, ok := shards[site]
+			if !ok {
+				return &wire.Response{Err: "fake: site not loaded"}
+			}
+			sub := graph.NewDigraph(s.NumDocs)
+			for _, e := range s.Edges {
+				sub.AddEdge(e.From, e.To, e.Weight)
+			}
+			sub.Dedupe()
+			scores, iters, err := lmm.LocalDocRank(sub, lmm.WebConfig{
+				Damping: req.Damping, Tol: req.Tol, MaxIter: req.MaxIter,
+			})
+			if err != nil {
+				return &wire.Response{Err: "fake: " + err.Error()}
+			}
+			resp.Local = append(resp.Local, wire.LocalRank{Site: site, Scores: scores, Iterations: iters})
+		}
+		return resp
+	case wire.KindPowerRound:
+		partial := make([]float64, req.NumSites)
+		var dang float64
+		sites := make([]int, 0, len(shards))
+		for s := range shards {
+			sites = append(sites, s)
+		}
+		sort.Ints(sites)
+		for _, site := range sites {
+			s := shards[site]
+			xs := req.X[site]
+			if len(s.RowCols) == 0 {
+				dang += xs
+				continue
+			}
+			for k, col := range s.RowCols {
+				partial[col] += xs * s.RowVals[k]
+			}
+		}
+		return &wire.Response{Partial: partial, DanglingMass: dang}
+	default:
+		return &wire.Response{Err: "fake: unsupported kind"}
+	}
+}
+
+// lossFixture builds a fleet of two real workers plus one scripted
+// fake, dials a coordinator, and returns the reference single-node
+// ranking of the test web.
+func lossFixture(t *testing.T, dieOn wire.Kind) (*Coordinator, *fakeWorker, *graph.DocGraph, *lmm.WebResult) {
+	t.Helper()
+	web := rankableWeb()
+	ref, err := lmm.LayeredDocRank(web, lmm.WebConfig{})
+	if err != nil {
+		t.Fatalf("reference LayeredDocRank: %v", err)
+	}
+	_, a1 := startWorker(t)
+	_, a2 := startWorker(t)
+	fake, a3 := startFakeWorker(t, dieOn)
+	c, err := Dial([]string{a1, a2, a3})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, fake, web, ref
+}
+
+// checkRecovery asserts the post-loss result still matches the
+// single-node reference and that the loss is visible in Stats.
+func checkRecovery(t *testing.T, res *Result, ref *lmm.WebResult, wantReassign bool) {
+	t.Helper()
+	if d := res.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+		t.Errorf("‖recovered − reference‖₁ = %g, want < 1e-9", d)
+	}
+	if d := res.SiteRank.L1Diff(ref.SiteRank); d >= 1e-9 {
+		t.Errorf("‖recovered − reference‖₁ on SiteRank = %g, want < 1e-9", d)
+	}
+	if res.Stats.WorkersLost != 1 {
+		t.Errorf("WorkersLost = %d, want 1", res.Stats.WorkersLost)
+	}
+	if res.Stats.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1", res.Stats.Retries)
+	}
+	if wantReassign && res.Stats.Reassignments < 1 {
+		t.Errorf("Reassignments = %d, want >= 1", res.Stats.Reassignments)
+	}
+	if !wantReassign && res.Stats.Reassignments != 0 {
+		t.Errorf("Reassignments = %d, want 0 (chain is replicated)", res.Stats.Reassignments)
+	}
+}
+
+// TestRecoversFromLossDuringLoad kills a peer at its first shard
+// shipment: the run must reassign its sites and finish with ranks
+// identical to single-node.
+func TestRecoversFromLossDuringLoad(t *testing.T) {
+	c, fake, web, ref := lossFixture(t, wire.KindLoad)
+	res, err := c.Rank(web, Config{Retry: RetryPolicy{MaxWorkerFailures: 1}})
+	if err != nil {
+		t.Fatalf("Rank with a peer dying at load: %v", err)
+	}
+	if !fake.died() {
+		t.Fatal("scripted worker never reached its death trigger")
+	}
+	checkRecovery(t, res, ref, true)
+}
+
+// TestRecoversFromLossDuringLocalRank kills a peer mid local-DocRank —
+// after it accepted its shards but before returning any ranks. Only its
+// sites are re-ranked, on the survivors that inherited them.
+func TestRecoversFromLossDuringLocalRank(t *testing.T) {
+	c, fake, web, ref := lossFixture(t, wire.KindRankLocal)
+	res, err := c.Rank(web, Config{Retry: RetryPolicy{MaxWorkerFailures: 1}})
+	if err != nil {
+		t.Fatalf("Rank with a peer dying at local rank: %v", err)
+	}
+	if !fake.died() {
+		t.Fatal("scripted worker never reached its death trigger")
+	}
+	checkRecovery(t, res, ref, true)
+}
+
+// TestRecoversFromLossDuringPowerRound kills a peer mid SiteRank power
+// iteration: its chain rows ride inside the shards, so reassignment
+// restores full row coverage and the round is redone.
+func TestRecoversFromLossDuringPowerRound(t *testing.T) {
+	c, fake, web, ref := lossFixture(t, wire.KindPowerRound)
+	res, err := c.Rank(web, Config{
+		DistributedSiteRank: true,
+		Retry:               RetryPolicy{MaxWorkerFailures: 1},
+	})
+	if err != nil {
+		t.Fatalf("Rank with a peer dying at a power round: %v", err)
+	}
+	if !fake.died() {
+		t.Fatal("scripted worker never reached its death trigger")
+	}
+	checkRecovery(t, res, ref, true)
+}
+
+// TestFailsOverBatchedRounds kills the first peer asked for a batched
+// SiteRank exchange: every worker holds the replicated chain, so the
+// coordinator fails over with no reassignment at all.
+func TestFailsOverBatchedRounds(t *testing.T) {
+	web := rankableWeb()
+	ref, err := lmm.LayeredDocRank(web, lmm.WebConfig{})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	// The fake must be fleet index 0 so the batch rotation hits it
+	// first.
+	fake, a0 := startFakeWorker(t, wire.KindBatchRounds)
+	_, a1 := startWorker(t)
+	_, a2 := startWorker(t)
+	c, err := Dial([]string{a0, a1, a2})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	res, err := c.Rank(web, Config{
+		DistributedSiteRank: true,
+		BatchRounds:         4,
+		Retry:               RetryPolicy{MaxWorkerFailures: 1},
+	})
+	if err != nil {
+		t.Fatalf("Rank with a peer dying at a batched round: %v", err)
+	}
+	if !fake.died() {
+		t.Fatal("scripted worker never reached its death trigger")
+	}
+	checkRecovery(t, res, ref, false)
+	if res.Stats.BatchMessagesSaved <= 0 {
+		t.Errorf("BatchMessagesSaved = %d, want > 0", res.Stats.BatchMessagesSaved)
+	}
+}
+
+// TestLossWithoutRetryBudgetFails pins the zero-value behavior: no
+// RetryPolicy means the first loss fails the run cleanly.
+func TestLossWithoutRetryBudgetFails(t *testing.T) {
+	c, _, web, _ := lossFixture(t, wire.KindRankLocal)
+	if _, err := c.Rank(web, Config{}); err == nil {
+		t.Fatal("Rank survived a worker loss with a zero retry budget")
+	}
+}
+
+// TestSecondLossExhaustsBudget gives the run a budget of one failure
+// and kills two peers: the run must fail, not loop.
+func TestSecondLossExhaustsBudget(t *testing.T) {
+	web := rankableWeb()
+	_, a1 := startWorker(t)
+	_, a2 := startFakeWorker(t, wire.KindRankLocal)
+	_, a3 := startFakeWorker(t, wire.KindRankLocal)
+	c, err := Dial([]string{a1, a2, a3})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Rank(web, Config{Retry: RetryPolicy{MaxWorkerFailures: 1}}); err == nil {
+		t.Fatal("Rank survived two losses on a budget of one")
+	}
+}

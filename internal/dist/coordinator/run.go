@@ -1,0 +1,763 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"lmmrank/internal/dist/wire"
+	"lmmrank/internal/graph"
+	"lmmrank/internal/lmm"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
+)
+
+// run is the state of one distributed ranking: the immutable per-site
+// shard payloads, and the mutable fleet view (who is alive, who owns
+// which site) that loss recovery rewrites mid-flight.
+type run struct {
+	c     *Coordinator
+	cfg   Config
+	rk    *lmm.Ranker
+	ns    int
+	stats *Stats
+
+	// Per-site payloads, built once from the Ranker's precomputation.
+	shards []wire.SiteShard
+	refs   []wire.ShardRef
+	sizes  []int
+	// chain is the replicated site chain (round batching only).
+	chain    *wire.SiteChain
+	chainRef wire.Digest
+
+	// Fleet view. alive/owner/load change on loss; initialized and
+	// hasChain record which peers completed their first Load (and hold
+	// the chain), so recovery shipments skip the Reset and the chain.
+	alive       []bool
+	nAlive      int
+	owner       []int
+	load        []int
+	initialized []bool
+	hasChain    []bool
+	budget      int
+
+	// mu guards stats mutations from the concurrent per-worker
+	// shipments (phase bookkeeping is otherwise sequential).
+	mu sync.Mutex
+}
+
+// rankPrepared runs one ranking; the caller holds runMu.
+func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, errors.New("coordinator: closed")
+	}
+	// Validate damping up front so the distributed SiteRank path rejects
+	// bad values exactly like the central pagerank path does.
+	if f := cfg.damping(); f <= 0 || f >= 1 {
+		return nil, fmt.Errorf("coordinator: %w: damping %g outside (0,1)", pagerank.ErrBadConfig, f)
+	}
+
+	startMsgs, startOut, startIn := c.counters.Messages(), c.counters.BytesSent(), c.counters.BytesReceived()
+	res := &Result{}
+	dg := rk.DocGraph()
+
+	r := &run{
+		c:           c,
+		cfg:         cfg,
+		rk:          rk,
+		ns:          dg.NumSites(),
+		stats:       &res.Stats,
+		alive:       make([]bool, len(c.workers)),
+		load:        make([]int, len(c.workers)),
+		initialized: make([]bool, len(c.workers)),
+		hasChain:    make([]bool, len(c.workers)),
+		budget:      cfg.Retry.MaxWorkerFailures,
+	}
+	for i, w := range c.workers {
+		if !w.isBroken() {
+			r.alive[i] = true
+			r.nAlive++
+		}
+	}
+	if r.nAlive == 0 {
+		return nil, errors.New("coordinator: no live workers (every connection is broken)")
+	}
+
+	// Partition and ship: shards balanced by page count over the live
+	// fleet, delivered through the workers' digest caches.
+	loadStart := time.Now()
+	r.buildShards()
+	r.owner = assignSites(r.sizes, r.aliveIdxs(), r.load)
+	need := make(map[int]struct{}, r.ns)
+	for s := 0; s < r.ns; s++ {
+		need[s] = struct{}{}
+	}
+	if err := r.ship(need); err != nil {
+		return nil, err
+	}
+	res.Stats.LoadDuration = time.Since(loadStart)
+
+	// Step 3 on the fleet: local DocRanks.
+	localStart := time.Now()
+	localRanks, localIters, err := r.localPhase(dg)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.LocalRankDuration = time.Since(localStart)
+
+	// Step 4: SiteRank — central, decentralized one-round-at-a-time, or
+	// decentralized with round batching.
+	siteStart := time.Now()
+	var siteRank matrix.Vector
+	switch {
+	case !cfg.DistributedSiteRank:
+		scores, rounds, err := rk.RankSites(lmm.WebConfig{
+			Damping: cfg.Damping,
+			Tol:     cfg.Tol,
+			MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: %w", err)
+		}
+		// RankSites aliases the Ranker's scratch; the Result outlives
+		// this run, so copy the small site vector out.
+		siteRank = scores.Clone()
+		res.Stats.SiteRankRounds = rounds
+	case cfg.batchRounds() > 1:
+		var rounds int
+		siteRank, rounds, err = r.batchedSiteRank()
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.SiteRankRounds = rounds
+	default:
+		var rounds int
+		siteRank, rounds, err = r.distributedSiteRank()
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.SiteRankRounds = rounds
+	}
+	res.Stats.SiteRankDuration = time.Since(siteStart)
+
+	// Step 5: composition by the Partition Theorem, shared with the
+	// in-process pipeline.
+	res.SiteRank = siteRank
+	res.DocRank = lmm.ComposeDocRank(dg, siteRank, localRanks)
+	res.LocalIterations = localIters
+
+	res.Stats.Messages = c.counters.Messages() - startMsgs
+	res.Stats.BytesSent = c.counters.BytesSent() - startOut
+	res.Stats.BytesReceived = c.counters.BytesReceived() - startIn
+	return res, nil
+}
+
+// buildShards materializes every site's wire payload from the Ranker's
+// precomputed subgraphs, plus each shard's content digest for the cache
+// negotiation. Site-chain rows ride inside the shards only when the
+// one-round-at-a-time distributed SiteRank will consume them; round
+// batching ships the whole chain separately instead, and central mode
+// ships no site-layer data at all.
+func (r *run) buildShards() {
+	sg := r.rk.SiteGraph()
+	batch := r.cfg.batchRounds()
+	wantRows := r.cfg.DistributedSiteRank && batch <= 1
+	r.shards = make([]wire.SiteShard, r.ns)
+	r.refs = make([]wire.ShardRef, r.ns)
+	r.sizes = make([]int, r.ns)
+	for s := 0; s < r.ns; s++ {
+		sub, _ := r.rk.LocalSubgraph(graph.SiteID(s))
+		shard := wire.SiteShard{Site: s, NumDocs: sub.NumNodes()}
+		sub.EachEdgeAll(func(from int, e graph.Edge) {
+			shard.Edges = append(shard.Edges, wire.Edge{From: from, To: e.To, Weight: e.Weight})
+		})
+		if wantRows {
+			if total := sg.G.OutWeight(s); total > 0 {
+				sg.G.EachEdge(s, func(e graph.Edge) {
+					shard.RowCols = append(shard.RowCols, e.To)
+					shard.RowVals = append(shard.RowVals, e.Weight/total)
+				})
+			}
+		}
+		r.shards[s] = shard
+		r.refs[s] = wire.ShardRef{Site: s, Digest: shard.ContentDigest()}
+		r.sizes[s] = shard.NumDocs
+	}
+	if r.cfg.DistributedSiteRank && batch > 1 {
+		chain := &wire.SiteChain{NumSites: r.ns, RowPtr: make([]int, r.ns+1)}
+		for s := 0; s < r.ns; s++ {
+			if total := sg.G.OutWeight(s); total > 0 {
+				sg.G.EachEdge(s, func(e graph.Edge) {
+					chain.Cols = append(chain.Cols, e.To)
+					chain.Vals = append(chain.Vals, e.Weight/total)
+				})
+			}
+			chain.RowPtr[s+1] = len(chain.Cols)
+		}
+		r.chain = chain
+		r.chainRef = chain.ContentDigest()
+	}
+}
+
+// aliveIdxs returns the live fleet indices in ascending order — the
+// fixed reduce order that keeps float summation deterministic.
+func (r *run) aliveIdxs() []int {
+	idxs := make([]int, 0, r.nAlive)
+	for i, a := range r.alive {
+		if a {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// lightestAlive returns the live worker with the least assigned
+// document load (ties toward the lower index).
+func (r *run) lightestAlive() int {
+	best := -1
+	for i, a := range r.alive {
+		if !a {
+			continue
+		}
+		if best < 0 || r.load[i] < r.load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// lose marks worker idx dead for the rest of the run, charges the retry
+// budget, and (when reassign is set) moves every site it owned to the
+// lightest surviving workers. It returns the moved sites — the caller
+// re-ships and re-runs exactly those. Batched SiteRank failover passes
+// reassign=false: the chain is replicated, so nothing needs to move.
+// Callers must invoke lose sequentially (after joining a parallel
+// wave), never from inside one.
+func (r *run) lose(idx int, cause error, reassign bool) (map[int]struct{}, error) {
+	if !r.alive[idx] {
+		// A second failure report for the same wave (e.g. two phases
+		// racing is impossible, but two calls in one wave are not).
+		return nil, nil
+	}
+	r.alive[idx] = false
+	r.nAlive--
+	r.stats.WorkersLost++
+	addr := r.c.workers[idx].addr
+	if r.budget <= 0 {
+		return nil, fmt.Errorf("coordinator: worker %s lost with retry budget exhausted (RetryPolicy.MaxWorkerFailures=%d): %w",
+			addr, r.cfg.Retry.MaxWorkerFailures, cause)
+	}
+	r.budget--
+	if r.nAlive == 0 {
+		return nil, fmt.Errorf("coordinator: all workers lost: %w", cause)
+	}
+	if !reassign {
+		return nil, nil
+	}
+	moved := make(map[int]struct{})
+	for s, w := range r.owner {
+		if w != idx {
+			continue
+		}
+		nw := r.lightestAlive()
+		r.owner[s] = nw
+		r.load[nw] += r.sizes[s]
+		moved[s] = struct{}{}
+		r.stats.Reassignments++
+	}
+	r.load[idx] = 0
+	return moved, nil
+}
+
+// ship delivers the needed sites to their current owners and leaves
+// every live worker initialized (a shardless worker still receives a
+// Load so it learns the site-space dimension — and the chain, when
+// batching). Worker losses during shipping reassign and loop until
+// every needed shard has landed.
+func (r *run) ship(need map[int]struct{}) error {
+	for {
+		pending := make(map[int][]int)
+		for s := range need {
+			pending[r.owner[s]] = append(pending[r.owner[s]], s)
+		}
+		for idx := range r.c.workers {
+			if r.alive[idx] && !r.initialized[idx] {
+				if _, ok := pending[idx]; !ok {
+					pending[idx] = nil
+				}
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		idxs := make([]int, 0, len(pending))
+		for idx := range pending {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		errs := make([]error, len(idxs))
+		var wg sync.WaitGroup
+		for i, idx := range idxs {
+			sites := pending[idx]
+			sort.Ints(sites)
+			wg.Add(1)
+			go func(i, idx int, sites []int) {
+				defer wg.Done()
+				errs[i] = r.shipTo(idx, sites)
+			}(i, idx, sites)
+		}
+		wg.Wait()
+		for i, idx := range idxs {
+			err := errs[i]
+			if err == nil {
+				r.initialized[idx] = true
+				for _, s := range pending[idx] {
+					delete(need, s)
+				}
+				continue
+			}
+			if !errors.Is(err, errLost) {
+				return err
+			}
+			// Every site the dead worker owned — already delivered in an
+			// earlier wave or still pending — moves to a survivor and
+			// must ship (again) to its new owner on the next pass.
+			moved, lerr := r.lose(idx, err, true)
+			if lerr != nil {
+				return lerr
+			}
+			for s := range moved {
+				need[s] = struct{}{}
+			}
+			r.stats.Retries++
+		}
+	}
+}
+
+// shipTo delivers one worker's shard batch through the cache protocol:
+// Reset on first contact, then Offer (which shards do you already
+// hold?), then Load carrying only the misses in full. Entries evicted
+// between the offer and the load come back in Response.Missing and are
+// re-shipped in full immediately.
+func (r *run) shipTo(idx int, sites []int) error {
+	w := r.c.workers[idx]
+	timeout := r.c.callTimeout()
+	if !r.initialized[idx] {
+		if _, err := w.call(&wire.Request{Kind: wire.KindReset}, &r.c.counters, timeout); err != nil {
+			return err
+		}
+	}
+	needChain := r.chain != nil && !r.hasChain[idx]
+	refs := make([]wire.ShardRef, len(sites))
+	for i, s := range sites {
+		refs[i] = r.refs[s]
+	}
+	have := make(map[int]bool)
+	chainHit := false
+	if len(refs) > 0 || needChain {
+		req := &wire.Request{Kind: wire.KindOffer, Refs: refs}
+		if needChain {
+			req.HasChain = true
+			req.ChainDigest = r.chainRef
+		}
+		resp, err := w.call(req, &r.c.counters, timeout)
+		if err != nil {
+			return err
+		}
+		offered := make(map[int]bool, len(sites))
+		for _, s := range sites {
+			offered[s] = true
+		}
+		for _, s := range resp.HaveSites {
+			if !offered[s] {
+				return fmt.Errorf("coordinator: %s claims unoffered site %d in cache", w.addr, s)
+			}
+			have[s] = true
+		}
+		chainHit = needChain && resp.HaveChain
+	}
+
+	var full []wire.SiteShard
+	var cached []wire.ShardRef
+	for _, s := range sites {
+		if have[s] {
+			cached = append(cached, r.refs[s])
+		} else {
+			full = append(full, r.shards[s])
+		}
+	}
+	req := &wire.Request{Kind: wire.KindLoad, NumSites: r.ns, Shards: full, Cached: cached}
+	if needChain {
+		req.HasChain = true
+		req.ChainDigest = r.chainRef
+		if !chainHit {
+			req.Chain = r.chain
+		}
+	}
+	resp, err := w.call(req, &r.c.counters, timeout)
+	if err != nil {
+		return err
+	}
+	wasCached := make(map[int]bool, len(cached))
+	for _, ref := range cached {
+		wasCached[ref.Site] = true
+	}
+	for _, s := range resp.Missing {
+		if !wasCached[s] {
+			return fmt.Errorf("coordinator: %s reports un-requested site %d missing", w.addr, s)
+		}
+	}
+
+	// Cache accounting: hits are the refs the worker honored, misses
+	// everything shipped in full (now or in the eviction follow-up).
+	r.mu.Lock()
+	r.stats.CacheMisses += len(full) + len(resp.Missing)
+	r.stats.CacheHits += len(cached) - len(resp.Missing)
+	missing := make(map[int]bool, len(resp.Missing))
+	for _, s := range resp.Missing {
+		missing[s] = true
+	}
+	for _, ref := range cached {
+		if !missing[ref.Site] {
+			r.stats.ShardBytesSaved += r.shards[ref.Site].EstWireSize()
+		}
+	}
+	if needChain {
+		if chainHit && !resp.MissingChain {
+			r.stats.CacheHits++
+			r.stats.ShardBytesSaved += r.chain.EstWireSize()
+		} else {
+			r.stats.CacheMisses++
+		}
+	}
+	r.mu.Unlock()
+
+	if len(resp.Missing) > 0 || (needChain && resp.MissingChain) {
+		req2 := &wire.Request{Kind: wire.KindLoad, NumSites: r.ns}
+		for _, s := range resp.Missing {
+			req2.Shards = append(req2.Shards, r.shards[s])
+		}
+		if needChain && resp.MissingChain {
+			req2.HasChain = true
+			req2.ChainDigest = r.chainRef
+			req2.Chain = r.chain
+		}
+		resp2, err := w.call(req2, &r.c.counters, timeout)
+		if err != nil {
+			return err
+		}
+		if len(resp2.Missing) > 0 || resp2.MissingChain {
+			return fmt.Errorf("coordinator: %s rejected fully shipped shards as missing", w.addr)
+		}
+	}
+	if r.chain != nil {
+		r.hasChain[idx] = true
+	}
+	return nil
+}
+
+// localPhase gathers every site's local DocRank from its owner,
+// re-ranking only reassigned sites when a worker dies mid-phase.
+func (r *run) localPhase(dg *graph.DocGraph) ([]matrix.Vector, []int, error) {
+	localRanks := make([]matrix.Vector, r.ns)
+	localIters := make([]int, r.ns)
+	done := make([]bool, r.ns)
+	for {
+		targets := make(map[int][]int)
+		for s := 0; s < r.ns; s++ {
+			if !done[s] {
+				targets[r.owner[s]] = append(targets[r.owner[s]], s)
+			}
+		}
+		if len(targets) == 0 {
+			break
+		}
+		idxs := make([]int, 0, len(targets))
+		for idx := range targets {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		resps := make([]*wire.Response, len(idxs))
+		errs := make([]error, len(idxs))
+		var wg sync.WaitGroup
+		for i, idx := range idxs {
+			wg.Add(1)
+			go func(i, idx int) {
+				defer wg.Done()
+				resps[i], errs[i] = r.c.workers[idx].call(&wire.Request{
+					Kind:    wire.KindRankLocal,
+					Damping: r.cfg.Damping,
+					Tol:     r.cfg.Tol,
+					MaxIter: r.cfg.MaxIter,
+					Sites:   targets[idx],
+				}, &r.c.counters, r.c.callTimeout())
+			}(i, idx)
+		}
+		wg.Wait()
+		var lostIdxs []int
+		for i, idx := range idxs {
+			if err := errs[i]; err != nil {
+				if errors.Is(err, errLost) {
+					lostIdxs = append(lostIdxs, idx)
+					continue
+				}
+				return nil, nil, err
+			}
+			want := make(map[int]bool, len(targets[idx]))
+			for _, s := range targets[idx] {
+				want[s] = true
+			}
+			got := 0
+			for _, lr := range resps[i].Local {
+				if lr.Site < 0 || lr.Site >= r.ns || !want[lr.Site] {
+					return nil, nil, fmt.Errorf("coordinator: %s returned rank for site %d it was not asked for",
+						r.c.workers[idx].addr, lr.Site)
+				}
+				if done[lr.Site] {
+					continue
+				}
+				localRanks[lr.Site] = lr.Scores
+				localIters[lr.Site] = lr.Iterations
+				done[lr.Site] = true
+				got++
+			}
+			if got != len(targets[idx]) {
+				return nil, nil, fmt.Errorf("coordinator: %s answered %d of %d requested local ranks",
+					r.c.workers[idx].addr, got, len(targets[idx]))
+			}
+		}
+		// Re-ship only what the survivors will actually use: sites whose
+		// local ranks are still pending, plus — in the unbatched
+		// distributed SiteRank mode, where chain rows ride inside the
+		// shards — every moved site, since the power rounds will need its
+		// row. In central and batched modes a completed site's shard is
+		// dead weight and stays unshipped.
+		needRows := r.cfg.DistributedSiteRank && r.cfg.batchRounds() <= 1
+		for _, idx := range lostIdxs {
+			moved, lerr := r.lose(idx, errs[indexOf(idxs, idx)], true)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			for s := range moved {
+				if done[s] && !needRows {
+					delete(moved, s)
+				}
+			}
+			if len(moved) > 0 {
+				if err := r.ship(moved); err != nil {
+					return nil, nil, err
+				}
+			}
+			r.stats.Retries++
+		}
+	}
+	for s := 0; s < r.ns; s++ {
+		want := dg.SiteSize(graph.SiteID(s))
+		if localRanks[s] == nil && want > 0 {
+			return nil, nil, fmt.Errorf("coordinator: no local rank received for site %d", s)
+		}
+		if len(localRanks[s]) != want {
+			return nil, nil, fmt.Errorf("coordinator: site %d local rank has %d entries, want %d",
+				s, len(localRanks[s]), want)
+		}
+	}
+	return localRanks, localIters, nil
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// distributedSiteRank runs the damped power method x' ← x'Mˆ(G_S)
+// without ever holding M(G_S) product-side: each round, every worker
+// returns the partial product over the rows it owns plus its dangling
+// mass; the coordinator sums partials in fixed worker order (float
+// determinism), applies the teleport correction exactly as the central
+// pagerank.Operator does, and normalizes. The per-round exchange is a
+// vector of N_S floats each way — the paper's small site-layer cost. A
+// worker dying mid-round gets its rows reassigned (they ride inside the
+// shards) and the round is redone against the surviving fleet.
+func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
+	f := r.cfg.damping()
+	tol := r.cfg.tol()
+	maxIter := r.cfg.maxIter()
+	uniform := 1.0 / float64(r.ns)
+
+	x := matrix.Uniform(r.ns)
+	next := matrix.NewVector(r.ns)
+	partials := make([][]float64, len(r.c.workers))
+	dangling := make([]float64, len(r.c.workers))
+
+	for round := 1; round <= maxIter; round++ {
+		var idxs []int
+		for {
+			idxs = r.aliveIdxs()
+			resps := make([]*wire.Response, len(idxs))
+			errs := make([]error, len(idxs))
+			var wg sync.WaitGroup
+			for i, idx := range idxs {
+				wg.Add(1)
+				go func(i, idx int) {
+					defer wg.Done()
+					resps[i], errs[i] = r.c.workers[idx].call(&wire.Request{
+						Kind:     wire.KindPowerRound,
+						NumSites: r.ns,
+						X:        x,
+					}, &r.c.counters, r.c.callTimeout())
+				}(i, idx)
+			}
+			wg.Wait()
+			var lostIdxs []int
+			var lostErr error
+			for i, idx := range idxs {
+				if err := errs[i]; err != nil {
+					if errors.Is(err, errLost) {
+						lostIdxs = append(lostIdxs, idx)
+						lostErr = err
+						continue
+					}
+					return nil, round, err
+				}
+				if len(resps[i].Partial) != r.ns {
+					return nil, round, fmt.Errorf("coordinator: %s returned partial of length %d, want %d",
+						r.c.workers[idx].addr, len(resps[i].Partial), r.ns)
+				}
+				partials[idx] = resps[i].Partial
+				dangling[idx] = resps[i].DanglingMass
+			}
+			if len(lostIdxs) == 0 {
+				break
+			}
+			// Reassign the dead workers' rows and redo this round: the
+			// surviving partials are from the same iterate, but the
+			// reduce must cover every row exactly once.
+			for _, idx := range lostIdxs {
+				moved, lerr := r.lose(idx, lostErr, true)
+				if lerr != nil {
+					return nil, round, lerr
+				}
+				if len(moved) > 0 {
+					if err := r.ship(moved); err != nil {
+						return nil, round, err
+					}
+				}
+			}
+			r.stats.Retries++
+		}
+
+		// Reduce in worker order, then apply Mˆ's rank-one terms:
+		// y = f·(x'M) + (f·danglingMass + (1−f)·Σx)·v, v uniform.
+		next.Fill(0)
+		var dangMass float64
+		for _, idx := range idxs {
+			next.AddScaled(1, partials[idx])
+			dangMass += dangling[idx]
+		}
+		coeff := f*dangMass + (1-f)*x.Sum()
+		for t := range next {
+			next[t] = f*next[t] + coeff*uniform
+		}
+		next.Normalize()
+		residual := next.L1Diff(x)
+		x, next = next, x
+		if residual <= tol {
+			return x, round, nil
+		}
+	}
+	return x, maxIter, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
+		matrix.ErrNotConverged, maxIter)
+}
+
+// batchedSiteRank drives the round-batched SiteRank: each exchange asks
+// one live worker (rotating for load spread) to run up to BatchRounds
+// damped power rounds against its replicated chain. K rounds cost one
+// message instead of K×NumWorkers; a worker dying mid-batch is simply
+// skipped — every peer holds the chain, so failover needs no
+// reassignment and the batch restarts from the last confirmed iterate.
+func (r *run) batchedSiteRank() (matrix.Vector, int, error) {
+	maxIter := r.cfg.maxIter()
+	batch := r.cfg.batchRounds()
+
+	x := matrix.Uniform(r.ns)
+	rounds := 0
+	exchanges := 0
+	cursor := 0
+	for rounds < maxIter {
+		k := batch
+		if rounds+k > maxIter {
+			k = maxIter - rounds
+		}
+		idx := r.nextAlive(&cursor)
+		resp, err := r.c.workers[idx].call(&wire.Request{
+			Kind:     wire.KindBatchRounds,
+			NumSites: r.ns,
+			X:        x,
+			Rounds:   k,
+			Damping:  r.cfg.Damping,
+			Tol:      r.cfg.Tol,
+		}, &r.c.counters, r.c.callTimeout())
+		if err != nil {
+			if errors.Is(err, errLost) {
+				// The chain is replicated: fail over to the next live
+				// worker, no shard movement needed. The in-flight batch
+				// is re-run from the last confirmed iterate.
+				if _, lerr := r.lose(idx, err, false); lerr != nil {
+					return nil, rounds, lerr
+				}
+				r.stats.Retries++
+				continue
+			}
+			return nil, rounds, err
+		}
+		exchanges++
+		if len(resp.X) != r.ns {
+			return nil, rounds, fmt.Errorf("coordinator: %s returned iterate of length %d, want %d",
+				r.c.workers[idx].addr, len(resp.X), r.ns)
+		}
+		if resp.Rounds < 1 || resp.Rounds > k || (resp.Rounds < k && !resp.Converged) {
+			return nil, rounds, fmt.Errorf("coordinator: %s ran %d of %d batched rounds without converging",
+				r.c.workers[idx].addr, resp.Rounds, k)
+		}
+		for _, v := range resp.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, rounds, fmt.Errorf("coordinator: %s returned a non-finite iterate", r.c.workers[idx].addr)
+			}
+		}
+		x = resp.X
+		rounds += resp.Rounds
+		if resp.Converged {
+			r.stats.BatchMessagesSaved = rounds*r.nAlive - exchanges
+			return x, rounds, nil
+		}
+		cursor++
+	}
+	r.stats.BatchMessagesSaved = rounds*r.nAlive - exchanges
+	return x, maxIter, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
+		matrix.ErrNotConverged, maxIter)
+}
+
+// nextAlive returns the next live worker at or after *cursor (mod the
+// fleet), advancing the rotation. At least one worker is always alive —
+// lose() errors out before the fleet can empty.
+func (r *run) nextAlive(cursor *int) int {
+	n := len(r.c.workers)
+	for i := 0; i < n; i++ {
+		idx := (*cursor + i) % n
+		if r.alive[idx] {
+			*cursor = idx
+			return idx
+		}
+	}
+	return -1
+}

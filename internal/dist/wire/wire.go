@@ -13,7 +13,11 @@
 package wire
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
+	"hash"
+	"math"
 	"net"
 	"sync/atomic"
 	"time"
@@ -31,11 +35,22 @@ const (
 	KindLoad
 	// KindReset drops all loaded shards, so a new Rank starts clean.
 	KindReset
-	// KindRankLocal computes the local DocRank of every loaded site.
+	// KindRankLocal computes the local DocRank of loaded sites (all of
+	// them, or the subset listed in Request.Sites).
 	KindRankLocal
 	// KindPowerRound performs one distributed SiteRank power step over
 	// the worker's owned rows of the site transition chain.
 	KindPowerRound
+	// KindOffer negotiates the worker's digest-keyed shard cache: the
+	// coordinator lists the shards (and optionally the site chain) it is
+	// about to assign, and the worker answers which of them it already
+	// holds, so the following KindLoad ships only the misses.
+	KindOffer
+	// KindBatchRounds runs up to Request.Rounds damped SiteRank power
+	// rounds locally on the worker against its replicated site chain and
+	// returns the resulting iterate — round batching, trading one larger
+	// chain shipment at load time for K× fewer SiteRank exchanges.
+	KindBatchRounds
 )
 
 // MaxShardDocs bounds the aggregate claimed document count of one Load
@@ -75,22 +90,70 @@ type SiteShard struct {
 	RowVals []float64
 }
 
+// Digest is the content address of a shard or site chain: SHA-256 over
+// a canonical serialization. Workers recompute digests from the bytes
+// they actually received and key their caches by that value, so a
+// coordinator cannot bind a digest to foreign content (no cache
+// poisoning across coordinators sharing a worker).
+type Digest [sha256.Size]byte
+
+// ShardRef names a shard by site and content digest, the currency of
+// the KindOffer/KindLoad cache negotiation.
+type ShardRef struct {
+	Site   int
+	Digest Digest
+}
+
+// SiteChain is the full row-normalized site transition matrix M(G_S) in
+// CSR form: row s spans Cols/Vals[RowPtr[s]:RowPtr[s+1]], an empty span
+// marking a dangling site. It is shipped to workers when round batching
+// is on, so a worker can run whole damped power rounds locally.
+type SiteChain struct {
+	NumSites int
+	RowPtr   []int
+	Cols     []int
+	Vals     []float64
+}
+
 // Request is the coordinator → worker envelope. Only the fields of the
 // active Kind are populated; gob omits zero-valued fields, so inactive
 // payloads cost nothing on the wire.
 type Request struct {
 	Kind Kind
-	// Shards carries KindLoad payload.
+	// Shards carries KindLoad payload: shards shipped in full.
 	Shards []SiteShard
-	// NumSites is the site-space dimension, needed by KindPowerRound
-	// partials and validated at KindLoad.
+	// Cached lists shards KindLoad activates from the worker's digest
+	// cache instead of shipping (negotiated by a preceding KindOffer).
+	Cached []ShardRef
+	// Refs carries KindOffer payload: the shards the coordinator intends
+	// to assign to this worker.
+	Refs []ShardRef
+	// Chain optionally ships the full site chain at KindLoad (round
+	// batching replicates it on every worker).
+	Chain *SiteChain
+	// HasChain marks that the run involves a site chain: at KindOffer it
+	// asks whether ChainDigest is cached; at KindLoad with a nil Chain it
+	// activates the cached chain under ChainDigest.
+	HasChain    bool
+	ChainDigest Digest
+	// NumSites is the site-space dimension, needed by KindPowerRound and
+	// KindBatchRounds iterates and validated at KindLoad.
 	NumSites int
-	// Damping/Tol/MaxIter parameterize KindRankLocal (zero = defaults).
+	// Damping/Tol/MaxIter parameterize KindRankLocal; KindBatchRounds
+	// reads Damping and Tol but takes its round budget from Rounds, not
+	// MaxIter. Zero values select the package defaults.
 	Damping float64
 	Tol     float64
 	MaxIter int
-	// X is the current SiteRank iterate for KindPowerRound.
+	// X is the current SiteRank iterate for KindPowerRound and
+	// KindBatchRounds.
 	X []float64
+	// Sites restricts KindRankLocal to the listed sites (empty = every
+	// loaded site) — the coordinator re-ranks only reassigned sites after
+	// a worker loss.
+	Sites []int
+	// Rounds asks KindBatchRounds for up to this many power rounds.
+	Rounds int
 }
 
 // LocalRank is one site's local DocRank as computed by a worker.
@@ -113,6 +176,22 @@ type Response struct {
 	// DanglingMass is the iterate mass sitting on owned dangling rows,
 	// needed centrally for the teleport coefficient.
 	DanglingMass float64
+	// HaveSites answers KindOffer: the offered sites whose digests hit
+	// the worker's cache. HaveChain answers the chain question.
+	HaveSites []int
+	HaveChain bool
+	// Missing answers KindLoad: Cached sites whose entries were evicted
+	// between the offer and the load; the coordinator re-ships them in
+	// full. MissingChain is the same signal for the site chain.
+	Missing      []int
+	MissingChain bool
+	// X is the iterate after KindBatchRounds ran Rounds power rounds;
+	// Residual is the last L1 step size and Converged whether it crossed
+	// the tolerance (in which case Rounds may be fewer than asked).
+	X         []float64
+	Rounds    int
+	Residual  float64
+	Converged bool
 }
 
 // Counters accumulates transport statistics for one endpoint. All
@@ -177,4 +256,79 @@ func (w countWriter) Write(p []byte) (int, error) {
 	n, err := w.w.conn.Write(p)
 	w.w.c.bytesOut.Add(uint64(n))
 	return n, err
+}
+
+// digestWriter streams canonical integers and floats into a hash.
+type digestWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (d *digestWriter) writeInt(v int) {
+	binary.LittleEndian.PutUint64(d.buf[:], uint64(v))
+	d.h.Write(d.buf[:])
+}
+
+func (d *digestWriter) writeFloat(v float64) {
+	binary.LittleEndian.PutUint64(d.buf[:], math.Float64bits(v))
+	d.h.Write(d.buf[:])
+}
+
+func (d *digestWriter) sum() (out Digest) {
+	d.h.Sum(out[:0])
+	return out
+}
+
+// ContentDigest returns the shard's content address: SHA-256 over the
+// document count, edge list and site-chain row in field order. Both ends
+// compute it with this function — the coordinator to offer, the worker to
+// key its cache — so the value is meaningful across processes and runs.
+func (s *SiteShard) ContentDigest() Digest {
+	d := digestWriter{h: sha256.New()}
+	d.writeInt(s.NumDocs)
+	d.writeInt(len(s.Edges))
+	for _, e := range s.Edges {
+		d.writeInt(e.From)
+		d.writeInt(e.To)
+		d.writeFloat(e.Weight)
+	}
+	d.writeInt(len(s.RowCols))
+	for _, c := range s.RowCols {
+		d.writeInt(c)
+	}
+	for _, v := range s.RowVals {
+		d.writeFloat(v)
+	}
+	return d.sum()
+}
+
+// EstWireSize coarsely estimates the gob payload cost of shipping the
+// shard in full — the basis of the coordinator's bytes-saved-by-cache
+// accounting. It is an estimate (gob varint-packs integers), not a
+// measured byte count.
+func (s *SiteShard) EstWireSize() uint64 {
+	return 16 + 20*uint64(len(s.Edges)) + 12*uint64(len(s.RowCols))
+}
+
+// ContentDigest returns the chain's content address, the analogue of
+// SiteShard.ContentDigest for the replicated site chain.
+func (c *SiteChain) ContentDigest() Digest {
+	d := digestWriter{h: sha256.New()}
+	d.writeInt(c.NumSites)
+	for _, p := range c.RowPtr {
+		d.writeInt(p)
+	}
+	for _, col := range c.Cols {
+		d.writeInt(col)
+	}
+	for _, v := range c.Vals {
+		d.writeFloat(v)
+	}
+	return d.sum()
+}
+
+// EstWireSize coarsely estimates the gob payload cost of shipping the
+// chain in full; see SiteShard.EstWireSize.
+func (c *SiteChain) EstWireSize() uint64 {
+	return 16 + 8*uint64(len(c.RowPtr)) + 12*uint64(len(c.Cols))
 }

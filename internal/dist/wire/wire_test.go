@@ -73,3 +73,56 @@ func TestConnCountsBothDirections(t *testing.T) {
 		t.Errorf("server sent %d but client received %d", serverCtr.BytesSent(), clientCtr.BytesReceived())
 	}
 }
+
+// TestContentDigestStability pins that digests are pure functions of
+// content: equal shards agree, any field change disagrees — the
+// property the worker-side cache keys on.
+func TestContentDigestStability(t *testing.T) {
+	base := func() SiteShard {
+		return SiteShard{
+			Site: 3, NumDocs: 2,
+			Edges:   []Edge{{From: 0, To: 1, Weight: 2}},
+			RowCols: []int{1}, RowVals: []float64{1},
+		}
+	}
+	a, b := base(), base()
+	if a.ContentDigest() != b.ContentDigest() {
+		t.Fatal("identical shards produced different digests")
+	}
+	// The site ID is addressing, not content: the same subgraph hosted
+	// under two IDs must share a cache entry.
+	b.Site = 9
+	if a.ContentDigest() != b.ContentDigest() {
+		t.Error("digest depends on the site ID")
+	}
+	mutations := []func(*SiteShard){
+		func(s *SiteShard) { s.NumDocs = 3 },
+		func(s *SiteShard) { s.Edges[0].Weight = 1 },
+		func(s *SiteShard) { s.Edges = append(s.Edges, Edge{From: 1, To: 0, Weight: 1}) },
+		func(s *SiteShard) { s.RowCols[0] = 0 },
+		func(s *SiteShard) { s.RowVals[0] = 0.5 },
+		func(s *SiteShard) { s.RowCols, s.RowVals = nil, nil },
+	}
+	for i, mutate := range mutations {
+		m := base()
+		mutate(&m)
+		if m.ContentDigest() == a.ContentDigest() {
+			t.Errorf("mutation %d did not change the digest", i)
+		}
+	}
+}
+
+func TestChainDigestAndSize(t *testing.T) {
+	c1 := SiteChain{NumSites: 2, RowPtr: []int{0, 1, 1}, Cols: []int{1}, Vals: []float64{1}}
+	c2 := SiteChain{NumSites: 2, RowPtr: []int{0, 1, 1}, Cols: []int{1}, Vals: []float64{1}}
+	if c1.ContentDigest() != c2.ContentDigest() {
+		t.Error("identical chains produced different digests")
+	}
+	c2.Vals[0] = 0.5
+	if c1.ContentDigest() == c2.ContentDigest() {
+		t.Error("value change did not change the chain digest")
+	}
+	if c1.EstWireSize() == 0 || (&SiteShard{}).EstWireSize() == 0 {
+		t.Error("wire-size estimates must be positive (headers are not free)")
+	}
+}

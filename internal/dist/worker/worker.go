@@ -1,12 +1,19 @@
 // Package worker implements the peer side of the distributed Layered
 // Method: a gob-over-TCP server that hosts site shards, computes their
 // local DocRanks with the same kernels as the in-process pipeline, and
-// answers SiteRank power rounds over the rows of the site chain it owns
-// — the paper's Web server participating in decentralized ranking.
+// answers SiteRank power rounds — one row-partition step at a time, or
+// whole batches of rounds against a replicated site chain — the paper's
+// Web server participating in decentralized ranking.
+//
+// Shards are held in a worker-global, digest-keyed cache that survives
+// session resets and coordinator reconnects: a coordinator re-ranking an
+// unchanged graph negotiates cache hits (KindOffer) instead of
+// re-shipping subgraphs, and each cached shard keeps a warm
+// lmm.SubgraphSolver so repeated runs also skip rebuilding transition
+// matrices and solver scratch.
 package worker
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -18,33 +25,41 @@ import (
 	"lmmrank/internal/dist/wire"
 	"lmmrank/internal/graph"
 	"lmmrank/internal/lmm"
+	"lmmrank/internal/matrix"
+	"lmmrank/internal/pagerank"
 )
 
-// Stats summarizes a worker's transport activity since New.
+// Stats summarizes a worker's transport and cache state since New.
 type Stats struct {
 	// Messages counts protocol requests served.
 	Messages uint64
 	// BytesReceived and BytesSent count raw socket traffic.
 	BytesReceived uint64
 	BytesSent     uint64
+	// CacheEntries and CacheDocs gauge the digest-keyed shard cache:
+	// distinct shards held and their aggregate document count.
+	CacheEntries int
+	CacheDocs    int
 }
 
-// shard is one hosted site: its local subgraph, ready to rank, and its
-// row of the site transition chain, ready to multiply.
+// shard is one hosted site of a session: the site ID under which this
+// coordinator addresses it, and the cached content behind it.
 type shard struct {
-	site    int
-	sub     *graph.Digraph
-	rowCols []int
-	rowVals []float64
+	site  int
+	entry *cacheEntry
 }
 
-// session is the per-connection state of one coordinator: the shards
-// it loaded. Scoping state to the connection isolates concurrent
-// coordinators from each other — two fleets' runs over the same worker
-// cannot clobber one another's shards.
+// session is the per-connection state of one coordinator: the shards it
+// activated and the site chain it shipped. Scoping state to the
+// connection isolates concurrent coordinators from each other — two
+// fleets' runs over the same worker cannot clobber one another's shards
+// (they can, by design, share cache entries).
 type session struct {
 	shards   map[int]*shard
 	numSites int
+	// chain is the replicated site chain for KindBatchRounds, nil until
+	// a Load ships or activates one.
+	chain *wire.SiteChain
 	// totalDocs tracks the aggregate hosted document count, bounded by
 	// wire.MaxShardDocs across the whole session — per-request bounds
 	// alone would let a looping client accumulate unbounded memory.
@@ -71,10 +86,21 @@ func (s *session) sortedShards() []*shard {
 	return out
 }
 
+// clear drops all session state (the global cache is untouched — that
+// is the point of KindReset: a new run starts clean but stays warm).
+func (s *session) clear() {
+	s.shards = make(map[int]*shard)
+	s.numSites = 0
+	s.totalDocs = 0
+	s.chain = nil
+	s.sorted = nil
+}
+
 // Worker is a distributed-ranking peer. Zero workers are not useful:
 // construct with New, serve with Start, stop with Close (idempotent).
 type Worker struct {
 	counters wire.Counters
+	cache    *shardCache
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -87,6 +113,7 @@ type Worker struct {
 // New returns an idle worker holding no sites.
 func New() *Worker {
 	return &Worker{
+		cache: newShardCache(),
 		conns: make(map[net.Conn]struct{}),
 	}
 }
@@ -98,10 +125,10 @@ func (w *Worker) Start(listen string) (string, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return "", errors.New("worker: already closed")
+		return "", fmt.Errorf("worker: already closed")
 	}
 	if w.ln != nil {
-		return "", errors.New("worker: already started")
+		return "", fmt.Errorf("worker: already started")
 	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -140,12 +167,15 @@ func (w *Worker) Close() error {
 	return err
 }
 
-// Stats returns a snapshot of the transport counters.
+// Stats returns a snapshot of the transport counters and cache gauges.
 func (w *Worker) Stats() Stats {
+	entries, docs := w.cache.gauges()
 	return Stats{
 		Messages:      w.counters.Messages(),
 		BytesReceived: w.counters.BytesReceived(),
 		BytesSent:     w.counters.BytesSent(),
+		CacheEntries:  entries,
+		CacheDocs:     docs,
 	}
 }
 
@@ -194,7 +224,8 @@ func (w *Worker) serveConn(conn net.Conn) {
 	}()
 
 	wc := wire.NewConn(conn, &w.counters)
-	sess := &session{shards: make(map[int]*shard)}
+	sess := &session{}
+	sess.clear()
 	for {
 		var req wire.Request
 		if err := wc.Dec.Decode(&req); err != nil {
@@ -226,33 +257,150 @@ func (w *Worker) safeHandle(sess *session, req *wire.Request) (resp *wire.Respon
 }
 
 // handle dispatches one request. Requests of one connection arrive
-// sequentially, so sess needs no locking.
+// sequentially, so sess needs no locking (the shared cache locks
+// itself).
 func (w *Worker) handle(sess *session, req *wire.Request) *wire.Response {
 	switch req.Kind {
 	case wire.KindPing:
 		return &wire.Response{}
 	case wire.KindReset:
-		sess.shards = make(map[int]*shard)
-		sess.numSites = 0
-		sess.totalDocs = 0
-		sess.sorted = nil
+		sess.clear()
 		return &wire.Response{}
+	case wire.KindOffer:
+		return w.handleOffer(req)
 	case wire.KindLoad:
-		return handleLoad(sess, req)
+		return w.handleLoad(sess, req)
 	case wire.KindRankLocal:
 		return handleRankLocal(sess, req)
 	case wire.KindPowerRound:
 		return handlePowerRound(sess, req)
+	case wire.KindBatchRounds:
+		return handleBatchRounds(sess, req)
 	default:
 		return &wire.Response{Err: fmt.Sprintf("worker: unknown request kind %d", req.Kind)}
 	}
 }
 
-func handleLoad(sess *session, req *wire.Request) *wire.Response {
+// handleOffer answers the cache negotiation: which of the offered
+// digests this worker already holds. It only reads the global cache —
+// activation into the session happens at the following KindLoad, which
+// re-checks (an entry can be evicted between the two).
+func (w *Worker) handleOffer(req *wire.Request) *wire.Response {
+	resp := &wire.Response{}
+	for _, ref := range req.Refs {
+		if w.cache.lookupShard(ref.Digest) != nil {
+			resp.HaveSites = append(resp.HaveSites, ref.Site)
+		}
+	}
+	if req.HasChain && w.cache.lookupChain(req.ChainDigest) != nil {
+		resp.HaveChain = true
+	}
+	return resp
+}
+
+// buildEntry validates one fully shipped shard and turns it into a
+// cache entry (deduplicating against the global cache by digest, so an
+// identical shard shipped twice — or hosted under two site IDs — shares
+// one subgraph and one warm solver).
+func (w *Worker) buildEntry(s *wire.SiteShard, numSites int) (*cacheEntry, error) {
+	if s.NumDocs < 0 || s.Site < 0 || s.Site >= numSites {
+		return nil, fmt.Errorf("invalid shard (site %d of %d, %d docs)", s.Site, numSites, s.NumDocs)
+	}
+	digest := s.ContentDigest()
+	if e := w.cache.lookupShard(digest); e != nil {
+		// The hit's content was validated when first cached — but against
+		// that load's site space. Re-check its row columns against this
+		// one, or a shard cached under a larger graph could smuggle
+		// out-of-range columns past the power-round's branch-free loop.
+		for _, col := range e.rowCols {
+			if col < 0 || col >= numSites {
+				return nil, fmt.Errorf("site %d row column %d out of range", s.Site, col)
+			}
+		}
+		return e, nil
+	}
+	sub := graph.NewDigraph(s.NumDocs)
+	for _, e := range s.Edges {
+		if e.From < 0 || e.From >= s.NumDocs || e.To < 0 || e.To >= s.NumDocs ||
+			!(e.Weight > 0) || math.IsInf(e.Weight, 0) {
+			return nil, fmt.Errorf("site %d has invalid edge %d→%d (w=%g)", s.Site, e.From, e.To, e.Weight)
+		}
+		sub.AddEdge(e.From, e.To, e.Weight)
+	}
+	sub.Dedupe()
+	if len(s.RowCols) != len(s.RowVals) {
+		return nil, fmt.Errorf("site %d row arity mismatch", s.Site)
+	}
+	rowSum := 0.0
+	for k, col := range s.RowCols {
+		if col < 0 || col >= numSites {
+			return nil, fmt.Errorf("site %d row column %d out of range", s.Site, col)
+		}
+		v := s.RowVals[k]
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("site %d row value %g not a probability", s.Site, v)
+		}
+		rowSum += v
+	}
+	if len(s.RowCols) > 0 && math.Abs(rowSum-1) > 1e-6 {
+		return nil, fmt.Errorf("site %d row sums to %g, want 1", s.Site, rowSum)
+	}
+	return w.cache.addShard(&cacheEntry{
+		digest:  digest,
+		numDocs: s.NumDocs,
+		sub:     sub,
+		rowCols: s.RowCols,
+		rowVals: s.RowVals,
+	}), nil
+}
+
+// validateChain checks a fully shipped site chain before it may enter
+// the cache: a well-formed CSR whose non-empty rows are probability
+// distributions over the site space.
+func validateChain(c *wire.SiteChain, numSites int) error {
+	if c.NumSites != numSites {
+		return fmt.Errorf("chain over %d sites, want %d", c.NumSites, numSites)
+	}
+	if len(c.RowPtr) != numSites+1 || len(c.Cols) != len(c.Vals) {
+		return fmt.Errorf("chain shape invalid (%d rowptr, %d cols, %d vals)",
+			len(c.RowPtr), len(c.Cols), len(c.Vals))
+	}
+	if numSites > 0 && (c.RowPtr[0] != 0 || c.RowPtr[numSites] != len(c.Cols)) {
+		return fmt.Errorf("chain rowptr does not span the value arrays")
+	}
+	for s := 0; s < numSites; s++ {
+		lo, hi := c.RowPtr[s], c.RowPtr[s+1]
+		if lo > hi || lo < 0 || hi > len(c.Cols) {
+			return fmt.Errorf("chain row %d spans [%d,%d)", s, lo, hi)
+		}
+		rowSum := 0.0
+		for k := lo; k < hi; k++ {
+			if col := c.Cols[k]; col < 0 || col >= numSites {
+				return fmt.Errorf("chain row %d column %d out of range", s, col)
+			}
+			v := c.Vals[k]
+			if !(v > 0) || math.IsInf(v, 0) {
+				return fmt.Errorf("chain row %d value %g not a probability", s, v)
+			}
+			rowSum += v
+		}
+		if hi > lo && math.Abs(rowSum-1) > 1e-6 {
+			return fmt.Errorf("chain row %d sums to %g, want 1", s, rowSum)
+		}
+	}
+	return nil
+}
+
+func (w *Worker) handleLoad(sess *session, req *wire.Request) *wire.Response {
 	if req.NumSites < 0 || req.NumSites > wire.MaxSites {
 		return &wire.Response{Err: fmt.Sprintf("worker: site space %d outside [0, %d]", req.NumSites, wire.MaxSites)}
 	}
-	loaded := make([]*shard, 0, len(req.Shards))
+	type placed struct {
+		site  int
+		entry *cacheEntry
+	}
+	loaded := make([]placed, 0, len(req.Shards)+len(req.Cached))
+	resp := &wire.Response{}
 	// Loads into an unchanged site space accumulate onto the session's
 	// existing shards, so the memory bound must count those too. (A
 	// conservative count: shards replaced by this request are counted
@@ -261,94 +409,126 @@ func handleLoad(sess *session, req *wire.Request) *wire.Response {
 	if req.NumSites != sess.numSites {
 		totalDocs = 0
 	}
-	for _, s := range req.Shards {
-		if s.NumDocs < 0 || s.Site < 0 || s.Site >= req.NumSites {
-			return &wire.Response{Err: fmt.Sprintf("worker: invalid shard (site %d of %d, %d docs)",
-				s.Site, req.NumSites, s.NumDocs)}
-		}
-		// Bound the aggregate before any allocation, capping how much
-		// memory a small request can claim (see wire.MaxShardDocs).
-		totalDocs += s.NumDocs
+	admit := func(site int, e *cacheEntry) *wire.Response {
+		// Bound the aggregate before accepting, capping how much memory
+		// a small request can claim (see wire.MaxShardDocs).
+		totalDocs += e.numDocs
 		if totalDocs > wire.MaxShardDocs {
 			return &wire.Response{Err: fmt.Sprintf("worker: load exceeds %d aggregate docs", wire.MaxShardDocs)}
 		}
-		sub := graph.NewDigraph(s.NumDocs)
-		for _, e := range s.Edges {
-			if e.From < 0 || e.From >= s.NumDocs || e.To < 0 || e.To >= s.NumDocs ||
-				!(e.Weight > 0) || math.IsInf(e.Weight, 0) {
-				return &wire.Response{Err: fmt.Sprintf("worker: site %d has invalid edge %d→%d (w=%g)",
-					s.Site, e.From, e.To, e.Weight)}
+		loaded = append(loaded, placed{site: site, entry: e})
+		return nil
+	}
+	for i := range req.Shards {
+		e, err := w.buildEntry(&req.Shards[i], req.NumSites)
+		if err != nil {
+			return &wire.Response{Err: "worker: " + err.Error()}
+		}
+		if errResp := admit(req.Shards[i].Site, e); errResp != nil {
+			return errResp
+		}
+	}
+	// Cached refs activate global-cache entries into this session. An
+	// entry evicted since the offer is reported back in Missing rather
+	// than failing the load — the coordinator re-ships those in full.
+	for _, ref := range req.Cached {
+		if ref.Site < 0 || ref.Site >= req.NumSites {
+			return &wire.Response{Err: fmt.Sprintf("worker: cached site %d of %d out of range", ref.Site, req.NumSites)}
+		}
+		e := w.cache.lookupShard(ref.Digest)
+		if e == nil {
+			resp.Missing = append(resp.Missing, ref.Site)
+			continue
+		}
+		// The entry's row columns were validated against the site space
+		// it was first loaded into; re-check against this one (a cache
+		// hit from a larger graph must not index past this iterate).
+		ok := true
+		for _, col := range e.rowCols {
+			if col >= req.NumSites {
+				ok = false
+				break
 			}
-			sub.AddEdge(e.From, e.To, e.Weight)
 		}
-		sub.Dedupe()
-		if len(s.RowCols) != len(s.RowVals) {
-			return &wire.Response{Err: fmt.Sprintf("worker: site %d row arity mismatch", s.Site)}
+		if !ok {
+			resp.Missing = append(resp.Missing, ref.Site)
+			continue
 		}
-		rowSum := 0.0
-		for k, col := range s.RowCols {
-			if col < 0 || col >= req.NumSites {
-				return &wire.Response{Err: fmt.Sprintf("worker: site %d row column %d out of range", s.Site, col)}
-			}
-			v := s.RowVals[k]
-			if !(v > 0) || math.IsInf(v, 0) {
-				return &wire.Response{Err: fmt.Sprintf("worker: site %d row value %g not a probability", s.Site, v)}
-			}
-			rowSum += v
+		if errResp := admit(ref.Site, e); errResp != nil {
+			return errResp
 		}
-		if len(s.RowCols) > 0 && math.Abs(rowSum-1) > 1e-6 {
-			return &wire.Response{Err: fmt.Sprintf("worker: site %d row sums to %g, want 1", s.Site, rowSum)}
+	}
+	var chain *wire.SiteChain
+	if req.Chain != nil {
+		if err := validateChain(req.Chain, req.NumSites); err != nil {
+			return &wire.Response{Err: "worker: " + err.Error()}
 		}
-		loaded = append(loaded, &shard{
-			site:    s.Site,
-			sub:     sub,
-			rowCols: s.RowCols,
-			rowVals: s.RowVals,
-		})
+		chain = req.Chain
+		w.cache.addChain(chain.ContentDigest(), chain)
+	} else if req.HasChain {
+		chain = w.cache.lookupChain(req.ChainDigest)
+		if chain == nil || chain.NumSites != req.NumSites {
+			chain = nil
+			resp.MissingChain = true
+		}
 	}
 	if req.NumSites != sess.numSites {
 		// A new site-space dimension means a new graph: stale shards
 		// from the previous one must not survive (their site IDs could
 		// index past the new dimension).
-		sess.shards = make(map[int]*shard, len(loaded))
+		sess.clear()
 		sess.numSites = req.NumSites
-		sess.totalDocs = 0
 	}
-	for _, sh := range loaded {
-		if old, ok := sess.shards[sh.site]; ok {
-			sess.totalDocs -= old.sub.NumNodes()
+	for _, p := range loaded {
+		if old, ok := sess.shards[p.site]; ok {
+			sess.totalDocs -= old.entry.numDocs
 		}
-		sess.shards[sh.site] = sh
-		sess.totalDocs += sh.sub.NumNodes()
+		sess.shards[p.site] = &shard{site: p.site, entry: p.entry}
+		sess.totalDocs += p.entry.numDocs
+	}
+	if chain != nil {
+		sess.chain = chain
 	}
 	sess.sorted = nil
-	return &wire.Response{}
+	return resp
 }
 
-// handleRankLocal runs step 3 of §3.2 for every hosted site, in
-// parallel across the worker's cores — this is the computation the
-// paper pushes out of the central server and onto the peers. The
-// actual ranking is lmm.RankSubgraphs, the same code path the
-// in-process pipeline uses.
+// handleRankLocal runs step 3 of §3.2 for the requested sites (all
+// hosted sites when Request.Sites is empty), in parallel across the
+// worker's cores — this is the computation the paper pushes out of the
+// central server and onto the peers. Each shard ranks through its cache
+// entry's warm SubgraphSolver, so repeated runs reuse transition
+// matrices and solver scratch.
 func handleRankLocal(sess *session, req *wire.Request) *wire.Response {
-	shards := sess.sortedShards()
-	subs := make([]*graph.Digraph, len(shards))
-	for i, sh := range shards {
-		subs[i] = sh.sub
+	var shards []*shard
+	if len(req.Sites) == 0 {
+		shards = sess.sortedShards()
+	} else {
+		shards = make([]*shard, 0, len(req.Sites))
+		for _, s := range req.Sites {
+			sh, ok := sess.shards[s]
+			if !ok {
+				return &wire.Response{Err: fmt.Sprintf("worker: rank local of site %d not loaded", s)}
+			}
+			shards = append(shards, sh)
+		}
+		sort.Slice(shards, func(a, b int) bool { return shards[a].site < shards[b].site })
 	}
 	cfg := lmm.WebConfig{Damping: req.Damping, Tol: req.Tol, MaxIter: req.MaxIter}
-	ranks, iters, err := lmm.RankSubgraphs(subs, cfg)
-	if err != nil {
-		var sre *lmm.SubgraphRankError
-		if errors.As(err, &sre) {
-			return &wire.Response{Err: fmt.Sprintf("worker: local docrank of site %d: %v",
-				shards[sre.Index].site, sre.Err)}
-		}
-		return &wire.Response{Err: fmt.Sprintf("worker: rank local: %v", err)}
-	}
 	out := make([]wire.LocalRank, len(shards))
-	for i, sh := range shards {
-		out[i] = wire.LocalRank{Site: sh.site, Scores: ranks[i], Iterations: iters[i]}
+	errs := make([]error, len(shards))
+	lmm.ForEachParallel(len(shards), 0, func(i int) {
+		scores, iters, err := shards[i].entry.rank(cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = wire.LocalRank{Site: shards[i].site, Scores: scores, Iterations: iters}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return &wire.Response{Err: fmt.Sprintf("worker: local docrank of site %d: %v", shards[i].site, err)}
+		}
 	}
 	return &wire.Response{Local: out}
 }
@@ -372,17 +552,93 @@ func handlePowerRound(sess *session, req *wire.Request) *wire.Response {
 	var dangling float64
 	for _, sh := range shards {
 		xs := req.X[sh.site]
-		if len(sh.rowCols) == 0 {
+		if len(sh.entry.rowCols) == 0 {
 			dangling += xs
 			continue
 		}
 		// Columns were range-checked at load time; the inner loop
 		// stays branch-free.
-		for k, col := range sh.rowCols {
-			partial[col] += xs * sh.rowVals[k]
+		for k, col := range sh.entry.rowCols {
+			partial[col] += xs * sh.entry.rowVals[k]
 		}
 	}
 	return &wire.Response{Partial: partial, DanglingMass: dangling}
+}
+
+// maxBatchRounds bounds the CPU one KindBatchRounds request can claim;
+// generous next to matrix.DefaultMaxIter but finite for hostile peers.
+const maxBatchRounds = 1 << 20
+
+// handleBatchRounds runs up to req.Rounds damped SiteRank power rounds
+// against the session's replicated chain, stopping early on
+// convergence. Each round applies exactly the arithmetic of the
+// coordinator's unbatched reduce — y = f·(x'M) + (f·danglingMass +
+// (1−f)·Σx)·v with v uniform, then L1 normalization — so batched and
+// unbatched runs agree to summation-order rounding (<1e-9), while K
+// rounds cost one exchange instead of K.
+func handleBatchRounds(sess *session, req *wire.Request) *wire.Response {
+	if sess.chain == nil {
+		return &wire.Response{Err: "worker: batch rounds without a loaded site chain"}
+	}
+	if req.NumSites != sess.numSites {
+		return &wire.Response{Err: fmt.Sprintf("worker: batch rounds over %d sites but %d loaded",
+			req.NumSites, sess.numSites)}
+	}
+	ns := req.NumSites
+	if len(req.X) != ns {
+		return &wire.Response{Err: fmt.Sprintf("worker: iterate length %d vs %d sites", len(req.X), ns)}
+	}
+	if req.Rounds < 1 || req.Rounds > maxBatchRounds {
+		return &wire.Response{Err: fmt.Sprintf("worker: round budget %d outside [1, %d]", req.Rounds, maxBatchRounds)}
+	}
+	f := req.Damping
+	if f == 0 {
+		f = pagerank.DefaultDamping
+	}
+	if !(f > 0 && f < 1) {
+		return &wire.Response{Err: fmt.Sprintf("worker: damping %g outside (0,1)", f)}
+	}
+	tol := req.Tol
+	if tol == 0 {
+		tol = matrix.DefaultTol
+	}
+	chain := sess.chain
+	uniform := 1.0 / float64(ns)
+	x := matrix.Vector(req.X)
+	next := matrix.NewVector(ns)
+	var (
+		rounds    int
+		residual  float64
+		converged bool
+	)
+	for r := 1; r <= req.Rounds; r++ {
+		next.Fill(0)
+		var dangMass float64
+		for s := 0; s < ns; s++ {
+			xs := x[s]
+			lo, hi := chain.RowPtr[s], chain.RowPtr[s+1]
+			if lo == hi {
+				dangMass += xs
+				continue
+			}
+			for k := lo; k < hi; k++ {
+				next[chain.Cols[k]] += xs * chain.Vals[k]
+			}
+		}
+		coeff := f*dangMass + (1-f)*x.Sum()
+		for t := range next {
+			next[t] = f*next[t] + coeff*uniform
+		}
+		next.Normalize()
+		residual = next.L1Diff(x)
+		x, next = next, x
+		rounds = r
+		if residual <= tol {
+			converged = true
+			break
+		}
+	}
+	return &wire.Response{X: x, Rounds: rounds, Residual: residual, Converged: converged}
 }
 
 var _ io.Closer = (*Worker)(nil)

@@ -87,7 +87,7 @@ func NewRanker(dg *graph.DocGraph, opts RankerOptions) (*Ranker, error) {
 	// Extraction fans out across sites: the graph was deduplicated
 	// above, so every LocalSubgraph call reads shared state and writes
 	// only its own r.sites slot.
-	forEachParallel(len(r.sites), 0, func(s int) {
+	ForEachParallel(len(r.sites), 0, func(s int) {
 		sub, idx := dg.LocalSubgraph(graph.SiteID(s))
 		st := rankerSite{sub: sub, idx: idx}
 		switch sub.NumNodes() {
@@ -179,7 +179,7 @@ func (r *Ranker) Rank(cfg WebConfig) (*WebResult, error) {
 		// itself would force it onto the heap for the serial path too,
 		// breaking the zero-allocation budget.
 		c := cfg
-		forEachParallel(len(r.sites), workers, func(s int) {
+		ForEachParallel(len(r.sites), workers, func(s int) {
 			r.rankLocal(s, &c)
 		})
 	}

@@ -38,6 +38,12 @@ type WebConfig struct {
 }
 
 // WebResult is the outcome of the layered DocRank pipeline.
+//
+// Aliasing: a WebResult returned by Ranker.Rank aliases the Ranker's
+// internal scratch — its vectors are valid only until the next
+// Rank/RankSites call on the same Ranker; clone them (or use the
+// one-shot LayeredDocRank, whose throwaway Ranker makes the result safe
+// to retain) to keep a result across queries.
 type WebResult struct {
 	// DocRank holds the final global ranking per DocID — the paper's
 	// DocRank(G_D) = (πS(s1)·πD(s1)', …, πS(sNS)·πD(sNS)')'.
@@ -102,7 +108,7 @@ func localDocRanks(dg *graph.DocGraph, cfg WebConfig) ([]matrix.Vector, []int, e
 	iters := make([]int, ns)
 	errs := make([]error, ns)
 
-	forEachParallel(ns, cfg.Parallelism, func(s int) {
+	ForEachParallel(ns, cfg.Parallelism, func(s int) {
 		local[s], iters[s], errs[s] = localDocRank(dg, graph.SiteID(s), cfg)
 	})
 
@@ -115,11 +121,11 @@ func localDocRanks(dg *graph.DocGraph, cfg WebConfig) ([]matrix.Vector, []int, e
 	return local, iters, nil
 }
 
-// forEachParallel runs fn(i) for every i in [0,n) across a capped
+// ForEachParallel runs fn(i) for every i in [0,n) across a capped
 // goroutine pool (workers <= 0 selects GOMAXPROCS). A single worker
 // runs inline: no goroutines, no channel, no allocations — the shape
 // the steady-state serving path relies on at GOMAXPROCS = 1.
-func forEachParallel(n, workers int, fn func(i int)) {
+func ForEachParallel(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -176,7 +182,7 @@ func RankSubgraphs(subs []*graph.Digraph, cfg WebConfig) ([]matrix.Vector, []int
 	ranks := make([]matrix.Vector, len(subs))
 	iters := make([]int, len(subs))
 	errs := make([]error, len(subs))
-	forEachParallel(len(subs), cfg.Parallelism, func(i int) {
+	ForEachParallel(len(subs), cfg.Parallelism, func(i int) {
 		ranks[i], iters[i], errs[i] = LocalDocRank(subs[i], cfg)
 	})
 	for i, err := range errs {

@@ -28,7 +28,9 @@ var ErrBadConfig = errors.New("pagerank: invalid configuration")
 // iteration budget from package matrix.
 type Config struct {
 	// Damping is the probability f of following a link rather than
-	// teleporting. Zero selects DefaultDamping. Must lie in (0, 1).
+	// teleporting. Zero is a sentinel selecting DefaultDamping (0.85) —
+	// an explicit damping of exactly 0 cannot be requested, while tiny
+	// positive values are honored. Must otherwise lie in (0, 1).
 	Damping float64
 	// Personalization is the teleport distribution v; nil selects uniform.
 	// It is the hook for personalized rankings (§2.1: "personalization of
@@ -81,7 +83,11 @@ func (c Config) powerOptions() matrix.PowerOptions {
 
 // Result is the outcome of a PageRank computation.
 type Result struct {
-	// Scores is the PageRank vector, a probability distribution.
+	// Scores is the PageRank vector, a probability distribution. When
+	// the Result comes from Solver.Solve, Scores aliases the solver's
+	// scratch and is valid only until the next Solve on that solver;
+	// clone to retain. One-shot entry points (Dense, Sparse, Graph)
+	// return freshly allocated vectors.
 	Scores matrix.Vector
 	// Iterations is the number of power steps performed.
 	Iterations int

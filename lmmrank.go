@@ -1,29 +1,3 @@
-// Package lmmrank is a Go implementation of "Using a Layered Markov Model
-// for Distributed Web Ranking Computation" (Wu & Aberer, ICDCS 2005): a
-// two-layer Markov model of the Web — sites above, documents below — whose
-// Partition Theorem makes the global ranking computable as one small
-// SiteRank composed with fully independent per-site DocRanks, enabling
-// decentralized (peer-to-peer) rank computation, link-spam resistance and
-// two-layer personalization.
-//
-// This root package is the stable facade over the internal packages:
-//
-//   - abstract Layered Markov Models (the paper's §2): Model, the four
-//     ranking approaches, multi-layer hierarchies;
-//   - Web ranking (§3): DocGraph construction, SiteGraph aggregation, the
-//     layered DocRank pipeline and the flat-PageRank baseline;
-//   - synthetic campus webs with ground-truth spam labels (the evaluation
-//     substrate standing in for the paper's EPFL crawl);
-//   - a distributed runtime: loopback or networked worker fleets driven by
-//     a coordinator over a gob/TCP RPC substrate.
-//
-// Quick start:
-//
-//	model := lmmrank.PaperExample()
-//	ranking, err := lmmrank.LayeredMethod(model, lmmrank.Config{})
-//	...
-//	web := lmmrank.GenerateCampusWeb(lmmrank.CampusWebConfig{Seed: 1})
-//	res, err := lmmrank.LayeredDocRank(web.Graph, lmmrank.WebConfig{})
 package lmmrank
 
 import (
@@ -97,6 +71,13 @@ type (
 	DistConfig = coordinator.Config
 	// DistResult is the outcome of a distributed run with cost stats.
 	DistResult = coordinator.Result
+	// DistRetryPolicy bounds how many worker losses one distributed run
+	// absorbs by reassigning shards to survivors.
+	DistRetryPolicy = coordinator.RetryPolicy
+	// DistStats breaks down a distributed run's cost: timings, measured
+	// wire traffic, losses/reassignments/retries, cache hits and bytes
+	// saved, and SiteRank messages saved by round batching.
+	DistStats = coordinator.Stats
 )
 
 // Errors re-exported for errors.Is checks.
