@@ -26,11 +26,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The distributed runtime is concurrency-heavy, and internal/lmm holds
-# the parallel-pipeline regression tests (undeduped shared graphs);
-# keep both race-clean.
+# The distributed runtime is concurrency-heavy, internal/lmm holds the
+# parallel-pipeline regression tests (undeduped shared graphs), and the
+# root package hosts the concurrent Engine serving tests; keep all three
+# race-clean.
 race:
-	$(GO) test -race ./internal/dist/... ./internal/lmm/...
+	$(GO) test -race . ./internal/dist/... ./internal/lmm/...
 
 # Documentation gate: go vet's doc-adjacent checks run under `vet`; this
 # target additionally fails when any package (library or command) lacks a

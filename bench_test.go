@@ -5,6 +5,7 @@
 package lmmrank
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -204,6 +205,57 @@ func BenchmarkE8Personalization(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEngineParallel measures the concurrent serving path: one
+// LocalEngine answering the repeated-query workload from b.RunParallel
+// goroutines (GOMAXPROCS of them by default). Per-query local fan-out is
+// pinned to 1 — under load the cores are already busy answering distinct
+// queries — so throughput should scale with GOMAXPROCS while the
+// single-proc numbers stay comparable to E8's ranker-personalized case
+// (the same work plus the caller-owned result copy).
+func BenchmarkEngineParallel(b *testing.B) {
+	web := benchWeb()
+	sitePers := make(Vector, web.Graph.NumSites())
+	for i := range sitePers {
+		sitePers[i] = 1 / float64(len(sitePers))
+	}
+	sitePers[1] *= 3
+	sitePers.Normalize()
+
+	queries := []struct {
+		name string
+		q    Query
+	}{
+		{"uniform", Query{Tol: 1e-9}},
+		{"site-personalized", Query{Tol: 1e-9, SitePersonalization: sitePers}},
+		{"topk", Query{Tol: 1e-9, TopK: 15}},
+	}
+	for _, bench := range queries {
+		b.Run(bench.name, func(b *testing.B) {
+			eng, err := NewLocalEngine(web.Graph, EngineOptions{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			// Warm the pool's first scratch before timing.
+			if _, err := eng.Rank(ctx, bench.q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := eng.Rank(ctx, bench.q); err != nil {
+						// Fatal would Goexit the wrong goroutine here;
+						// Error + return is the RunParallel-safe form.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkBaselines times the comparison algorithms on the same web:

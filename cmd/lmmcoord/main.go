@@ -8,17 +8,21 @@
 //	lmmcoord -graph campus.graph -workers host1:7100,host2:7100
 //	         [-format text|gob] [-top 15] [-distributed-siterank]
 //	         [-batch-rounds 4] [-max-worker-failures 1] [-runs 2]
+//	         [-compress] [-timeout 30s]
 //
 // Shards are balanced over the fleet by page count and negotiated
 // against the workers' digest caches, so with -runs > 1 every run after
 // the first ships near-zero shard bytes. -max-worker-failures lets a
 // run survive peers dying mid-flight (their shards are reassigned);
 // -batch-rounds exchanges several SiteRank power rounds per message
-// when -distributed-siterank is on.
+// when -distributed-siterank is on. -compress flate-compresses shard
+// payloads on the wire; -timeout bounds each whole run with a context
+// deadline that propagates into every worker exchange.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +52,8 @@ func run() error {
 		batch     = flag.Int("batch-rounds", 0, "SiteRank power rounds per exchange (with -distributed-siterank; <=1 = one round per exchange)")
 		failures  = flag.Int("max-worker-failures", 1, "worker losses one run may absorb by reassigning shards (0 = fail on first loss)")
 		runs      = flag.Int("runs", 1, "repeat the ranking; runs after the first hit the workers' shard caches")
+		compress  = flag.Bool("compress", false, "flate-compress shard payloads on the wire")
+		timeout   = flag.Duration("timeout", 0, "deadline per ranking run (0 = none); propagates into every worker exchange")
 	)
 	flag.Parse()
 	if *graphPath == "" || *workers == "" {
@@ -100,12 +106,19 @@ func run() error {
 		Damping:             *damping,
 		DistributedSiteRank: *distSite,
 		BatchRounds:         *batch,
+		Compress:            *compress,
 		Retry:               coordinator.RetryPolicy{MaxWorkerFailures: *failures},
 	}
 	var res *coordinator.Result
 	for run := 1; run <= *runs; run++ {
 		start := time.Now()
-		res, err = coord.RankPrepared(rk, cfg)
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		res, err = coord.RankPreparedCtx(ctx, rk, cfg)
+		cancel()
 		if err != nil {
 			return err
 		}
@@ -118,9 +131,15 @@ func run() error {
 			res.Stats.Messages,
 			float64(res.Stats.BytesSent)/1e6,
 			float64(res.Stats.BytesReceived)/1e6)
-		fmt.Printf("run %d: cache %d hits / %d misses (%.2f MB of shards not re-shipped)",
+		fmt.Printf("run %d: cache %d hits / %d misses (%.2f MB of shards not re-shipped; %.2f MB hashed for digests)",
 			run, res.Stats.CacheHits, res.Stats.CacheMisses,
-			float64(res.Stats.ShardBytesSaved)/1e6)
+			float64(res.Stats.ShardBytesSaved)/1e6,
+			float64(res.Stats.DigestBytesHashed)/1e6)
+		if res.Stats.ShardBytesRaw > 0 {
+			fmt.Printf("; compression %.2f -> %.2f MB",
+				float64(res.Stats.ShardBytesRaw)/1e6,
+				float64(res.Stats.ShardBytesCompressed)/1e6)
+		}
 		if res.Stats.WorkersLost > 0 {
 			fmt.Printf("; survived %d worker losses (%d shards reassigned, %d retries)",
 				res.Stats.WorkersLost, res.Stats.Reassignments, res.Stats.Retries)

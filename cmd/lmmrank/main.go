@@ -6,10 +6,15 @@
 //
 //	lmmrank -graph campus.graph [-format text|gob] [-method layered]
 //	        [-top 15] [-damping 0.85] [-drop-self-loops] [-compare]
+//
+// Methods: layered (the paper's default, served through the Engine
+// API), layered3 (three-layer domain→site→page), pagerank, blockrank,
+// hits.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +37,7 @@ func run() error {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (required)")
 		format    = flag.String("format", "text", "input format: text or gob")
-		method    = flag.String("method", "layered", "ranking method: layered, pagerank, blockrank, hits")
+		method    = flag.String("method", "layered", "ranking method: layered, layered3, pagerank, blockrank, hits")
 		top       = flag.Int("top", 15, "table length (the paper prints 15)")
 		damping   = flag.Float64("damping", 0.85, "damping factor / gatekeeper α")
 		dropSelf  = flag.Bool("drop-self-loops", false, "exclude intra-site links from the SiteGraph")
@@ -58,16 +63,20 @@ func run() error {
 
 	var scores lmmrank.Vector
 	switch *method {
-	case "layered":
-		// The Ranker precomputes the serving structure; a long-lived
-		// process would keep it and answer repeated queries from it.
-		rk, err := lmmrank.NewRanker(dg, lmmrank.RankerOptions{
+	case "layered", "layered3":
+		// The Engine precomputes the serving structure; a long-lived
+		// process would keep it and answer repeated (concurrent)
+		// queries from it.
+		eng, err := lmmrank.NewLocalEngine(dg, lmmrank.EngineOptions{
 			SiteGraph: webCfg.SiteGraph,
 		})
 		if err != nil {
 			return err
 		}
-		res, err := rk.Rank(webCfg)
+		res, err := eng.Rank(context.Background(), lmmrank.Query{
+			Damping:    *damping,
+			ThreeLayer: *method == "layered3",
+		})
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,10 @@
 //
 // This root package is the stable facade over the internal packages:
 //
+//   - the serving API: Engine — Rank(ctx, Query) over a unified Query
+//     (uniform / personalized / top-k / three-layer) with caller-owned
+//     Results — implemented by NewLocalEngine (concurrent in-process
+//     serving) and NewDistEngine (the same queries from a worker fleet);
 //   - abstract Layered Markov Models (the paper's §2): Model, the four
 //     ranking approaches, multi-layer hierarchies;
 //   - Web ranking (§3): DocGraph construction, SiteGraph aggregation, the
@@ -16,38 +20,58 @@
 //     substrate standing in for the paper's EPFL crawl);
 //   - a distributed runtime: loopback or networked worker fleets driven by
 //     a coordinator over a gob/TCP RPC substrate, with page-count shard
-//     balancing, digest-keyed worker caches, batched SiteRank rounds and
-//     mid-run worker-loss recovery (DistRetryPolicy).
+//     balancing, digest-keyed worker caches, flate shard compression,
+//     batched SiteRank rounds and mid-run worker-loss recovery
+//     (DistRetryPolicy).
 //
 // Quick start:
 //
+//	web := lmmrank.GenerateCampusWeb(lmmrank.CampusWebConfig{Seed: 1})
+//	eng, err := lmmrank.NewLocalEngine(web.Graph, lmmrank.EngineOptions{})
+//	res, err := eng.Rank(ctx, lmmrank.Query{TopK: 10})
+//	...
 //	model := lmmrank.PaperExample()
 //	ranking, err := lmmrank.LayeredMethod(model, lmmrank.Config{})
-//	...
-//	web := lmmrank.GenerateCampusWeb(lmmrank.CampusWebConfig{Seed: 1})
-//	res, err := lmmrank.LayeredDocRank(web.Graph, lmmrank.WebConfig{})
+//
+// # Ownership contract
+//
+// Public results are caller-owned. Everything an Engine returns — and
+// everything the one-shot wrappers (LayeredDocRank, LayeredDocRank3,
+// PageRank, PageRankGraph) and the distributed runtime return — is
+// freshly allocated: retain it, mutate it, share it across goroutines;
+// no later query will observe or disturb it. Scratch aliasing is an
+// internal/ concern only, surfacing in exactly one deprecated-in-spirit
+// expert path: Ranker (below).
 //
 // # Performance contracts
 //
-// The serving path trades safety rails for zero steady-state
+// The serving core trades safety rails for zero steady-state
 // allocations; the contracts below are stated on the symbols they bind
 // and collected here because they span packages.
 //
-// Scratch aliasing: results returned by Ranker.Rank (the WebResult's
-// vectors) alias the Ranker's internal buffers and are valid only until
-// the next Rank on the same Ranker — clone to retain, or use the
-// one-shot LayeredDocRank whose result is safe to keep. Neither Ranker
-// nor the internal solvers are goroutine-safe; serialize access or hold
-// one per goroutine.
+// Scratch aliasing (Ranker only): results returned by Ranker.Rank (the
+// WebResult's vectors) alias the Ranker's internal buffers and are
+// valid only until the next Rank on the same Ranker — clone to retain,
+// or serve through an Engine, which copies results out of pooled
+// scratch before returning them. A Ranker value is not goroutine-safe;
+// Engine's pool of scratch-private Rankers over one shared core is the
+// concurrent path.
+//
+// Cancellation: Engine.Rank honors its context everywhere — each power
+// iteration checks ctx between multiplies, and distributed runs
+// propagate the deadline into every wire exchange — returning ctx.Err()
+// on cancellation. A nil WebConfig.Ctx (the internal hook the Engine
+// fills) never cancels.
 //
 // Damping sentinel: a Damping (or Alpha) of exactly 0 in any config
 // selects the default 0.85 — an explicit zero cannot be requested, tiny
 // positive values are honored as given.
 //
-// Invalidation: a Ranker captures its DocGraph by reference and
-// precomputes derived structure from it; mutating the graph afterwards
-// (adding documents, links or sites) invalidates the Ranker — build a
-// new one. The same applies to the distributed runtime's shard digests:
-// an unchanged graph re-ranked via Coordinator.RankPrepared hits the
-// workers' caches, a mutated graph naturally misses.
+// Invalidation: engines and Rankers capture their DocGraph by reference
+// and precompute derived structure from it; mutating the graph
+// afterwards (adding documents, links or sites) invalidates them —
+// build a new one. The same applies to the distributed runtime's shard
+// digests: an unchanged graph re-ranked through a DistEngine (or
+// Coordinator.RankPrepared) hits the workers' caches and the
+// coordinator's digest memo, a mutated graph naturally misses.
 package lmmrank

@@ -1,0 +1,334 @@
+package lmmrank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lmmrank/internal/dist/coordinator"
+	"lmmrank/internal/lmm"
+)
+
+// Query is the unified serving request every Engine answers: one struct
+// covers uniform rankings, site- and document-layer personalization
+// (§3.2's two-layer personalization), top-k tables and the three-layer
+// domain → site → page model. The zero value asks for the standard
+// uniform two-layer ranking with default damping, tolerance and
+// iteration budget.
+type Query struct {
+	// Damping is the PageRank damping factor / gatekeeper α. Zero is a
+	// sentinel selecting the default 0.85 — an explicit damping of
+	// exactly 0 cannot be requested, tiny positive values are honored.
+	Damping float64
+	// Tol and MaxIter bound every power-method run (0 = package
+	// defaults).
+	Tol     float64
+	MaxIter int
+	// SitePersonalization biases the site layer: the teleport
+	// distribution over sites (length NumSites; nil = uniform).
+	// Incompatible with ThreeLayer, which replaces the site layer.
+	SitePersonalization Vector
+	// DocPersonalization biases individual sites' document layers:
+	// per-site teleport vectors in local-index order; missing sites use
+	// uniform. Served by LocalEngine only — DistEngine rejects it with
+	// ErrUnsupportedQuery (per-site teleports are not part of the wire
+	// protocol).
+	DocPersonalization map[SiteID]Vector
+	// ThreeLayer selects the three-layer (domain → site → page) model;
+	// DomainOf groups sites into domains (nil = the registrable-domain
+	// default). The Result gains Domains, DomainRank, DomainOfSite and
+	// SiteEntry, and its SiteRank holds the per-site composition
+	// weights DomainRank·SiteEntry.
+	ThreeLayer bool
+	DomainOf   func(siteName string) string
+	// TopK, when positive, fills Result.Top with the k best documents
+	// and their URLs in descending score order.
+	TopK int
+	// WantLocalRanks asks for Result.LocalRanks (each site's local
+	// DocRank). Serving clients rarely need them; leaving this false
+	// keeps the per-query copying to the global vectors.
+	WantLocalRanks bool
+}
+
+// Result is a ranking answer. Every slice is freshly allocated and
+// caller-owned: mutate it, retain it across queries, hand it to another
+// goroutine — nothing aliases engine internals. (Scratch aliasing is an
+// internal/ concern; it stops at this boundary.)
+type Result struct {
+	// DocRank is the global ranking per DocID, a probability
+	// distribution.
+	DocRank Vector
+	// SiteRank is the site-layer distribution πS per SiteID — or, for a
+	// ThreeLayer query, the per-site composition weights
+	// DomainRank(dom(s))·SiteEntry(s).
+	SiteRank Vector
+	// Domains, DomainRank, DomainOfSite and SiteEntry carry the upper
+	// layers of a ThreeLayer query (nil otherwise): the distinct domain
+	// names in first-seen order, the top-layer distribution per domain
+	// index, each site's domain index, and each site's entry
+	// probability within its domain.
+	Domains      []string
+	DomainRank   Vector
+	DomainOfSite []int
+	SiteEntry    Vector
+	// LocalRanks holds each site's local DocRank in local-index order;
+	// filled only when Query.WantLocalRanks was set.
+	LocalRanks []Vector
+	// Top is the TopK table (nil when Query.TopK <= 0).
+	Top []DocScore
+	// SiteIterations and LocalIterations record power-method work:
+	// site-layer iterations (or distributed rounds) and per-site local
+	// iterations.
+	SiteIterations  int
+	LocalIterations []int
+	// Dist carries the transport/cache statistics of a distributed
+	// query (nil for LocalEngine results).
+	Dist *DistStats
+}
+
+// Engine is the serving surface of the layered ranking model: one
+// interface over the in-process and distributed backends. Rank answers
+// one Query; implementations are safe for concurrent use, results are
+// caller-owned, and a cancelled or expired context aborts the query
+// mid-computation — between power iterations locally, between wire
+// exchanges (or by interrupting a blocked one) distributedly — returning
+// ctx.Err().
+type Engine interface {
+	Rank(ctx context.Context, q Query) (*Result, error)
+}
+
+// ErrUnsupportedQuery marks queries a backend cannot serve (e.g.
+// document-layer personalization on the distributed engine). Check with
+// errors.Is.
+var ErrUnsupportedQuery = errors.New("lmmrank: unsupported query")
+
+// EngineOptions fixes the graph-derivation and execution choices an
+// engine precomputes.
+type EngineOptions struct {
+	// SiteGraph controls SiteLink aggregation (§3.1), baked into the
+	// precomputed structure.
+	SiteGraph SiteGraphOptions
+	// Parallelism caps the per-query local-DocRank fan-out
+	// (0 = GOMAXPROCS). Concurrent serving under load usually wants 1 —
+	// the cores are already busy answering distinct queries — while a
+	// single caller wants the default.
+	Parallelism int
+}
+
+// validate rejects query-shape combinations no backend serves, keeping
+// the two engines' contracts identical.
+func (q Query) validate() error {
+	if q.ThreeLayer && q.SitePersonalization != nil {
+		return fmt.Errorf("%w: ThreeLayer replaces the site layer and cannot combine with SitePersonalization", ErrUnsupportedQuery)
+	}
+	return nil
+}
+
+// webConfig maps a Query onto the internal pipeline configuration.
+func (q Query) webConfig(ctx context.Context, parallelism int) lmm.WebConfig {
+	return lmm.WebConfig{
+		Damping:             q.Damping,
+		Tol:                 q.Tol,
+		MaxIter:             q.MaxIter,
+		SitePersonalization: q.SitePersonalization,
+		DocPersonalization:  q.DocPersonalization,
+		Parallelism:         parallelism,
+		Ctx:                 ctx,
+	}
+}
+
+// LocalEngine serves queries from one process: an lmm.Ranker core
+// (SiteGraph, subgraphs, CSR matrices, dangling lists) precomputed once
+// at construction, fronted by a sync.Pool of scratch-private Rankers.
+// Concurrent goroutines therefore serve without locking — each Rank
+// borrows a pooled Ranker, runs the query phase against the shared
+// immutable core, copies the result out and returns the scratch — and
+// throughput scales with GOMAXPROCS while a single caller pays the same
+// latency as a bare Ranker.
+type LocalEngine struct {
+	dg          *DocGraph
+	base        *lmm.Ranker
+	parallelism int
+	pool        sync.Pool
+}
+
+var _ Engine = (*LocalEngine)(nil)
+
+// NewLocalEngine validates dg and precomputes the serving structure:
+// the SiteGraph and every local subgraph with their transition matrices
+// and PageRank chains, built eagerly (in parallel) so that queries only
+// ever read shared state. The graph is captured by reference and must
+// not be mutated while the engine serves; mutate ⇒ build a new engine.
+func NewLocalEngine(dg *DocGraph, opts EngineOptions) (*LocalEngine, error) {
+	rk, err := lmm.NewRanker(dg, lmm.RankerOptions{SiteGraph: opts.SiteGraph})
+	if err != nil {
+		return nil, err
+	}
+	rk.Prepare()
+	e := &LocalEngine{dg: dg, base: rk, parallelism: opts.Parallelism}
+	e.pool.New = func() any { return e.base.Share() }
+	return e, nil
+}
+
+// Rank answers one query. Safe for concurrent use; the result is
+// caller-owned; a cancelled ctx aborts mid-iteration with ctx.Err().
+func (e *LocalEngine) Rank(ctx context.Context, q Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	rk := e.pool.Get().(*lmm.Ranker)
+	defer e.pool.Put(rk)
+	cfg := q.webConfig(ctx, e.parallelism)
+
+	var res *Result
+	if q.ThreeLayer {
+		wr, err := rk.Rank3(q.DomainOf, cfg)
+		if err != nil {
+			return nil, normalizeCtxErr(ctx, err)
+		}
+		res = &Result{
+			DocRank: wr.DocRank.Clone(),
+			// The domain-layer vectors (SiteWeights included) are
+			// freshly allocated per query — already caller-owned.
+			SiteRank:        wr.SiteWeights,
+			Domains:         wr.Domains,
+			DomainRank:      wr.DomainRank,
+			DomainOfSite:    wr.DomainOfSite,
+			SiteEntry:       wr.SiteEntry,
+			LocalIterations: append([]int(nil), wr.LocalIterations...),
+		}
+		if q.WantLocalRanks {
+			res.LocalRanks = cloneVectors(wr.LocalRanks)
+		}
+	} else {
+		wr, err := rk.Rank(cfg)
+		if err != nil {
+			return nil, normalizeCtxErr(ctx, err)
+		}
+		res = &Result{
+			DocRank:         wr.DocRank.Clone(),
+			SiteRank:        wr.SiteRank.Clone(),
+			SiteIterations:  wr.SiteIterations,
+			LocalIterations: append([]int(nil), wr.LocalIterations...),
+		}
+		if q.WantLocalRanks {
+			res.LocalRanks = cloneVectors(wr.LocalRanks)
+		}
+	}
+	if q.TopK > 0 {
+		res.Top = TopDocs(e.dg, res.DocRank, q.TopK)
+	}
+	return res, nil
+}
+
+// DocGraph returns the graph this engine serves.
+func (e *LocalEngine) DocGraph() *DocGraph { return e.dg }
+
+// cloneVectors deep-copies a slice of score vectors.
+func cloneVectors(vs []Vector) []Vector {
+	out := make([]Vector, len(vs))
+	for i, v := range vs {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// normalizeCtxErr maps any failure of a cancelled query to the
+// context's own error, the Engine contract.
+func normalizeCtxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// DistEngine serves the same queries from a distributed fleet: local
+// DocRanks run on the workers (through the coordinator's shard caches,
+// loss recovery and optional compression), the small site layer runs
+// centrally or as distributed power rounds, and the composed result
+// comes back caller-owned with transport statistics attached. Rank
+// calls are safe for concurrent use — the coordinator serializes runs —
+// but do not overlap on the wire; for query-level concurrency put a
+// LocalEngine replica next to the coordinator instead.
+type DistEngine struct {
+	dg    *DocGraph
+	coord *coordinator.Coordinator
+	rk    *lmm.Ranker
+	cfg   coordinator.Config
+}
+
+var _ Engine = (*DistEngine)(nil)
+
+// NewDistEngine builds a distributed serving engine over a running
+// cluster: a Ranker is precomputed for the graph (structure only — the
+// fleet does the local solving) and every Rank reuses it, so repeated
+// queries ship near-zero shard bytes and hash zero digest bytes. cfg
+// supplies the transport knobs (SiteGraph aggregation, distributed or
+// batched SiteRank, retry policy, compression); its per-query fields —
+// Damping, Tol, MaxIter, SitePersonalization, ThreeLayer, DomainOf —
+// are ignored and overwritten from each Query. The graph must not be
+// mutated while the engine serves.
+func NewDistEngine(cl *Cluster, dg *DocGraph, cfg DistConfig) (*DistEngine, error) {
+	rk, err := lmm.NewRanker(dg, lmm.RankerOptions{SiteGraph: cfg.SiteGraph})
+	if err != nil {
+		return nil, err
+	}
+	return &DistEngine{dg: dg, coord: cl.Coord, rk: rk, cfg: cfg}, nil
+}
+
+// Rank answers one query against the fleet. The context's deadline
+// propagates into every wire exchange and a cancellation aborts the
+// in-flight round, returning ctx.Err().
+func (e *DistEngine) Rank(ctx context.Context, q Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if q.DocPersonalization != nil {
+		return nil, fmt.Errorf("%w: document-layer personalization is not part of the distributed wire protocol; use LocalEngine", ErrUnsupportedQuery)
+	}
+	cfg := e.cfg
+	cfg.Damping = q.Damping
+	cfg.Tol = q.Tol
+	cfg.MaxIter = q.MaxIter
+	cfg.SitePersonalization = q.SitePersonalization
+	cfg.ThreeLayer = q.ThreeLayer
+	cfg.DomainOf = q.DomainOf
+	dres, err := e.coord.RankPreparedCtx(ctx, e.rk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats := dres.Stats
+	res := &Result{
+		// Coordinator results are freshly allocated per run — already
+		// caller-owned, no cloning needed.
+		DocRank:         dres.DocRank,
+		SiteRank:        dres.SiteRank,
+		Domains:         dres.Domains,
+		DomainRank:      dres.DomainRank,
+		DomainOfSite:    dres.DomainOfSite,
+		SiteEntry:       dres.SiteEntry,
+		SiteIterations:  dres.Stats.SiteRankRounds,
+		LocalIterations: dres.LocalIterations,
+		Dist:            &stats,
+	}
+	if q.WantLocalRanks {
+		res.LocalRanks = dres.LocalRanks
+	}
+	if q.TopK > 0 {
+		res.Top = TopDocs(e.dg, res.DocRank, q.TopK)
+	}
+	return res, nil
+}
+
+// DocGraph returns the graph this engine serves.
+func (e *DistEngine) DocGraph() *DocGraph { return e.dg }

@@ -19,6 +19,7 @@
 package coordinator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -74,6 +75,30 @@ type Config struct {
 	// power rounds in which each worker multiplies the iterate by the
 	// rows of the site chain it owns.
 	DistributedSiteRank bool
+	// SitePersonalization optionally biases the site layer: the teleport
+	// distribution v of Mˆ(G_S) (length NumSites; nil = uniform) — the
+	// paper's "personalization at the higher layer" served from the
+	// fleet. It applies in every SiteRank mode: the central solver takes
+	// it directly, the unbatched distributed reduce applies it in the
+	// coordinator's rank-one correction, and round batching ships it to
+	// the workers alongside the iterate.
+	SitePersonalization matrix.Vector
+	// ThreeLayer selects the three-layer (domain → site → page) model:
+	// the fleet computes local DocRanks exactly as in the two-layer run,
+	// while the coordinator composes them under per-site weights
+	// DomainRank·SiteEntry computed centrally from the Ranker's
+	// SiteGraph (the upper layers are small — the paper's point).
+	// Incompatible with DistributedSiteRank and SitePersonalization.
+	ThreeLayer bool
+	// DomainOf groups sites into domains for ThreeLayer (nil =
+	// lmm.DefaultDomainOf).
+	DomainOf func(siteName string) string
+	// Compress flate-compresses shard payloads on the wire (the workers
+	// decompress transparently). Edge lists are integer-heavy and
+	// repetitive, so compression cuts cold-load bytes severalfold for
+	// CPU that is negligible next to the ranking itself; warm runs ship
+	// no shards either way. Stats records raw vs compressed bytes.
+	Compress bool
 	// BatchRounds asks the distributed SiteRank to run up to this many
 	// power rounds per wire exchange (values <= 1 select the classic
 	// one-round-per-exchange protocol; ignored without
@@ -151,18 +176,42 @@ type Stats struct {
 	CacheHits       int
 	CacheMisses     int
 	ShardBytesSaved uint64
+	// DigestBytesHashed counts the bytes this run fed through SHA-256
+	// computing shard and chain content digests. The coordinator
+	// memoizes digests per Ranker, so a warm RankPrepared run hashes
+	// zero bytes.
+	DigestBytesHashed uint64
+	// ShardBytesRaw and ShardBytesCompressed record the shard payloads
+	// shipped with Config.Compress on: the gob size before compression
+	// and the flate size that actually crossed the wire. Both stay zero
+	// when compression is off or nothing shipped in full.
+	ShardBytesRaw        uint64
+	ShardBytesCompressed uint64
 	// BatchMessagesSaved estimates the SiteRank exchanges avoided by
 	// round batching: rounds × live workers (the unbatched protocol's
 	// cost) minus the batch exchanges actually made.
 	BatchMessagesSaved int
 }
 
-// Result is the outcome of a distributed ranking run.
+// Result is the outcome of a distributed ranking run. Every vector is
+// freshly allocated — callers own the result outright.
 type Result struct {
 	// DocRank is the composed global ranking per DocID.
 	DocRank matrix.Vector
-	// SiteRank is πS per SiteID.
+	// SiteRank is πS per SiteID. For a ThreeLayer run it holds the
+	// per-site composition weights DomainRank·SiteEntry instead.
 	SiteRank matrix.Vector
+	// Domains, DomainRank, DomainOfSite and SiteEntry carry the upper
+	// layers of a ThreeLayer run (nil otherwise), mirroring
+	// lmm.Web3Result.
+	Domains      []string
+	DomainRank   matrix.Vector
+	DomainOfSite []int
+	SiteEntry    matrix.Vector
+	// LocalRanks holds each site's local DocRank in local-index order,
+	// exactly as the workers returned them (WebResult.LocalRanks'
+	// distributed twin).
+	LocalRanks []matrix.Vector
 	// LocalIterations records each site's local power-method work as
 	// reported by its worker, matching WebResult.LocalIterations for
 	// the complexity experiments (E6).
@@ -187,30 +236,88 @@ type remote struct {
 	broken bool
 }
 
-// call performs one exchange on the remote's connection, bounded by
-// timeout (<= 0 means unbounded). Any transport failure — including a
-// timeout — leaves the request/response stream desynchronized (a late
-// response could pair with the next request), so it marks the remote
-// broken and closes the connection; later calls fail fast rather than
-// silently consuming stale payloads. Transport failures wrap errLost.
-func (r *remote) call(req *wire.Request, counters *wire.Counters, timeout time.Duration) (*wire.Response, error) {
+// call performs one exchange on the remote's connection, bounded by the
+// earlier of ctx's deadline and timeout (<= 0 means no per-call bound).
+// A context cancelled mid-exchange interrupts the blocked socket I/O
+// immediately (the connection deadline is yanked to the past) and the
+// context's error is returned. Any transport failure — a timeout, a
+// cancellation, a dead peer — leaves the request/response stream
+// desynchronized (a late response could pair with the next request), so
+// it marks the remote broken and closes the connection; later calls fail
+// fast rather than silently consuming stale payloads. Transport failures
+// other than cancellation wrap errLost; cancellation returns ctx.Err()
+// so callers never mistake the caller's own abort for a worker death.
+func (r *remote) call(ctx context.Context, req *wire.Request, counters *wire.Counters, timeout time.Duration) (*wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		// Cancelled before any bytes moved: the stream is still in sync
+		// and the connection stays usable.
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.broken {
 		return nil, fmt.Errorf("coordinator: %s: connection broken by an earlier failure: %w", r.addr, errLost)
 	}
+	var deadline time.Time
+	ctxBound := false
 	if timeout > 0 {
-		r.conn.SetDeadline(time.Now().Add(timeout))
+		deadline = time.Now().Add(timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || !d.After(deadline)) {
+		deadline = d
+		ctxBound = true
+	}
+	if !deadline.IsZero() {
+		r.conn.SetDeadline(deadline)
 		defer r.conn.SetDeadline(time.Time{})
 	}
-	if err := r.conn.Enc.Encode(req); err != nil {
+	if ctx.Done() != nil {
+		// dlMu serializes the cancellation callback against the cleanup
+		// below: AfterFunc's stop() does not wait for a callback already
+		// running, so without it a cancel racing the end of a successful
+		// exchange could land its past deadline after the reset and
+		// leave a healthy connection permanently timed out.
+		var dlMu sync.Mutex
+		stopped := false
+		stop := context.AfterFunc(ctx, func() {
+			dlMu.Lock()
+			defer dlMu.Unlock()
+			if !stopped {
+				// Unblock the in-flight read/write right away instead
+				// of waiting out the deadline.
+				r.conn.SetDeadline(time.Unix(1, 0))
+			}
+		})
+		defer func() {
+			dlMu.Lock()
+			stopped = true
+			dlMu.Unlock()
+			stop()
+			r.conn.SetDeadline(time.Time{})
+		}()
+	}
+	fail := func(op string, err error) error {
 		r.markBroken()
-		return nil, fmt.Errorf("coordinator: send to %s: %w: %w", r.addr, err, errLost)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		// The socket deadline and the context deadline are the same
+		// instant when the context supplied the bound, but the net
+		// poller can observe it a hair before the context's timer
+		// fires — classify that I/O timeout as the context expiry it
+		// is, not as a worker loss.
+		var nerr net.Error
+		if ctxBound && errors.As(err, &nerr) && nerr.Timeout() {
+			return context.DeadlineExceeded
+		}
+		return fmt.Errorf("coordinator: %s %s: %w: %w", op, r.addr, err, errLost)
+	}
+	if err := r.conn.Enc.Encode(req); err != nil {
+		return nil, fail("send to", err)
 	}
 	var resp wire.Response
 	if err := r.conn.Dec.Decode(&resp); err != nil {
-		r.markBroken()
-		return nil, fmt.Errorf("coordinator: receive from %s: %w: %w", r.addr, err, errLost)
+		return nil, fail("receive from", err)
 	}
 	counters.AddMessage()
 	if resp.Err != "" {
@@ -248,8 +355,30 @@ type Coordinator struct {
 	// load, rank, power rounds) of two runs must not interleave.
 	runMu sync.Mutex
 
+	// prep memoizes the wire payloads (shards, digests, sizes, chain)
+	// derived from the most recent Ranker, so repeated RankPrepared runs
+	// skip rebuilding edge lists and re-hashing SHA-256 digests
+	// entirely. Guarded by runMu. A Ranker captures its graph by
+	// reference and a mutated graph requires a new Ranker, so identity
+	// of the Ranker pointer (plus the protocol shape, which decides
+	// whether chain rows ride in the shards) is a sound memo key.
+	prep *preparedShards
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// preparedShards is the per-Ranker memo behind Coordinator.prep.
+type preparedShards struct {
+	rk        *lmm.Ranker
+	wantRows  bool
+	withChain bool
+
+	shards   []wire.SiteShard
+	refs     []wire.ShardRef
+	sizes    []int
+	chain    *wire.SiteChain
+	chainRef wire.Digest
 }
 
 // Dial connects to every worker address (with DefaultDialTimeout per
@@ -301,7 +430,7 @@ func (c *Coordinator) Ping() error {
 		return errors.New("coordinator: closed")
 	}
 	return c.broadcastErr(func(_ int, r *remote) error {
-		_, err := r.call(&wire.Request{Kind: wire.KindPing}, &c.counters, c.callTimeout())
+		_, err := r.call(context.Background(), &wire.Request{Kind: wire.KindPing}, &c.counters, c.callTimeout())
 		return err
 	})
 }
@@ -357,12 +486,24 @@ func (c *Coordinator) broadcastErr(fn func(idx int, r *remote) error) error {
 // Rank executes the distributed Layered Method on dg: partition sites
 // over the fleet, ship shards, rank locally on the peers, compute the
 // SiteRank, and compose the global DocRank per the Partition Theorem.
+// It is RankCtx with a background context.
 //
 // It builds a throwaway lmm.Ranker for the run; callers ranking the same
 // graph repeatedly should precompute one and call RankPrepared, which
 // skips the SiteGraph derivation and subgraph extraction entirely (and,
-// paired with the workers' digest caches, skips re-shipping shards too).
+// paired with the workers' digest caches and the coordinator's digest
+// memo, skips re-shipping and re-hashing shards too).
 func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
+	return c.RankCtx(context.Background(), dg, cfg)
+}
+
+// RankCtx is Rank under a context: the context's deadline propagates
+// into every wire exchange (bounded further by CallTimeout) and a
+// cancellation aborts the run mid-phase — between power rounds, between
+// shipment waves, or by interrupting a blocked socket read — returning
+// ctx.Err(). A cancelled run poisons the connections it interrupted
+// (their streams are desynchronized); Ping reports which survived.
+func (c *Coordinator) RankCtx(ctx context.Context, dg *graph.DocGraph, cfg Config) (*Result, error) {
 	// Build the Ranker under runMu: NewRanker dedupes the shared graph
 	// (a mutation), and concurrent Rank calls are allowed as long as
 	// runMu serializes them.
@@ -372,19 +513,42 @@ func (c *Coordinator) Rank(dg *graph.DocGraph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: %w", err)
 	}
-	return c.rankPrepared(rk, cfg)
+	res, err := c.rankPrepared(ctx, rk, cfg, false)
+	return res, normalizeCtxErr(ctx, err)
 }
 
 // RankPrepared is Rank over a precomputed lmm.Ranker: the SiteGraph and
 // all local subgraphs come from the Ranker's one-time precomputation, so
 // repeated runs over the same graph only pay for shipping and ranking —
-// and since workers cache shards by content digest, a repeated run over
-// an unchanged graph ships (almost) no shard bytes at all.
+// and since workers cache shards by content digest (and the coordinator
+// memoizes the digests per Ranker), a repeated run over an unchanged
+// graph ships (almost) no shard bytes and hashes none at all.
 // cfg.SiteGraph is ignored — that choice was fixed when the Ranker was
 // built. The Ranker must not be used concurrently by another goroutine
 // while a run is in flight.
 func (c *Coordinator) RankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) {
+	return c.RankPreparedCtx(context.Background(), rk, cfg)
+}
+
+// RankPreparedCtx is RankPrepared under a context; see RankCtx for the
+// cancellation semantics.
+func (c *Coordinator) RankPreparedCtx(ctx context.Context, rk *lmm.Ranker, cfg Config) (*Result, error) {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
-	return c.rankPrepared(rk, cfg)
+	res, err := c.rankPrepared(ctx, rk, cfg, true)
+	return res, normalizeCtxErr(ctx, err)
+}
+
+// normalizeCtxErr maps any failure of a cancelled run to the context's
+// own error, so callers observe exactly ctx.Err() no matter which phase
+// (a power iteration, a wire exchange, a loop head) noticed the
+// cancellation first.
+func normalizeCtxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }

@@ -1,0 +1,143 @@
+package coordinator
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lmmrank/internal/dist/wire"
+)
+
+// startHangingWorker is the cancellation twin of startFakeWorker: a
+// scripted peer that answers every request correctly until the first
+// request of kind hangOn arrives, then simply stops responding — the
+// connection stays open, no bytes move — until release is called. To
+// the coordinator this is a stalled peer: without a context (or the
+// per-call timeout) the exchange would block indefinitely.
+func startHangingWorker(t *testing.T, hangOn wire.Kind) (addr string, release func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	blocked := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(blocked) }) }
+	t.Cleanup(func() { release(); ln.Close() })
+
+	script := &fakeWorker{t: t}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				enc := gob.NewEncoder(conn)
+				dec := gob.NewDecoder(conn)
+				shards := make(map[int]wire.SiteShard)
+				for {
+					var req wire.Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if req.Kind == hangOn {
+						<-blocked // the scripted stall
+						return
+					}
+					if err := enc.Encode(script.handle(shards, &req)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), release
+}
+
+// TestRankCtxPreCancelled pins the cheap path: an already-cancelled
+// context fails the run before any wire traffic, returning ctx.Err().
+func TestRankCtxPreCancelled(t *testing.T) {
+	_, a1 := startWorker(t)
+	c, err := Dial([]string{a1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	startMsgs, _, _ := c.Stats()
+	if _, err := c.RankCtx(ctx, rankableWeb(), Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RankCtx on a cancelled context: err = %v, want context.Canceled", err)
+	}
+	if msgs, _, _ := c.Stats(); msgs != startMsgs {
+		t.Errorf("pre-cancelled run still exchanged %d messages", msgs-startMsgs)
+	}
+	// The fleet was never touched: a follow-up run must succeed.
+	if _, err := c.Rank(rankableWeb(), Config{}); err != nil {
+		t.Fatalf("Rank after a pre-cancelled run: %v", err)
+	}
+}
+
+// TestRankCtxCancelAbortsInFlightCall is the acceptance bar for the
+// distributed backend: a context cancelled while a worker exchange is
+// blocked mid-run interrupts the socket wait immediately and the run
+// returns ctx.Err() — it does not sit out the two-minute call timeout.
+func TestRankCtxCancelAbortsInFlightCall(t *testing.T) {
+	_, a1 := startWorker(t)
+	aHang, release := startHangingWorker(t, wire.KindRankLocal)
+	defer release()
+	c, err := Dial([]string{a1, aHang})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.RankCtx(ctx, rankableWeb(), Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RankCtx with a mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if err != ctx.Err() {
+		t.Errorf("RankCtx returned %v, want exactly ctx.Err() (%v)", err, ctx.Err())
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Errorf("cancellation took %v — the blocked exchange was not interrupted", waited)
+	}
+}
+
+// TestRankCtxDeadlineAbortsInFlightCall covers deadline propagation:
+// the context's deadline bounds the wire exchange (tighter than the
+// default CallTimeout) and an expiry mid-exchange surfaces as
+// context.DeadlineExceeded.
+func TestRankCtxDeadlineAbortsInFlightCall(t *testing.T) {
+	_, a1 := startWorker(t)
+	aHang, release := startHangingWorker(t, wire.KindRankLocal)
+	defer release()
+	c, err := Dial([]string{a1, aHang})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.RankCtx(ctx, rankableWeb(), Config{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RankCtx past its deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Errorf("deadline abort took %v — the deadline did not propagate to the socket", waited)
+	}
+}

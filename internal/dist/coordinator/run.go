@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,10 +21,20 @@ import (
 // which site) that loss recovery rewrites mid-flight.
 type run struct {
 	c     *Coordinator
+	ctx   context.Context
 	cfg   Config
 	rk    *lmm.Ranker
 	ns    int
 	stats *Stats
+	// memoize marks runs over a caller-held Ranker (RankPrepared):
+	// only those may usefully populate the coordinator's shard memo —
+	// a one-shot Rank's throwaway Ranker can never hit again, and
+	// storing it would both pin the payloads and evict a warm memo.
+	memoize bool
+	// tele is the normalized site-layer teleport (nil = uniform), shared
+	// by every SiteRank mode so central, unbatched and batched runs
+	// apply the same personalization vector.
+	tele matrix.Vector
 
 	// Per-site payloads, built once from the Ranker's precomputation.
 	shards []wire.SiteShard
@@ -49,18 +60,30 @@ type run struct {
 	mu sync.Mutex
 }
 
-// rankPrepared runs one ranking; the caller holds runMu.
-func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) {
+// rankPrepared runs one ranking; the caller holds runMu. memoize marks
+// runs whose Ranker the caller retains (see run.memoize).
+func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Config, memoize bool) (*Result, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
 		return nil, errors.New("coordinator: closed")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Validate damping up front so the distributed SiteRank path rejects
 	// bad values exactly like the central pagerank path does.
 	if f := cfg.damping(); f <= 0 || f >= 1 {
 		return nil, fmt.Errorf("coordinator: %w: damping %g outside (0,1)", pagerank.ErrBadConfig, f)
+	}
+	if cfg.ThreeLayer {
+		if cfg.DistributedSiteRank {
+			return nil, fmt.Errorf("coordinator: %w: ThreeLayer computes its site weights centrally and cannot combine with DistributedSiteRank", pagerank.ErrBadConfig)
+		}
+		if cfg.SitePersonalization != nil {
+			return nil, fmt.Errorf("coordinator: %w: ThreeLayer replaces the site layer and cannot combine with SitePersonalization", pagerank.ErrBadConfig)
+		}
 	}
 
 	startMsgs, startOut, startIn := c.counters.Messages(), c.counters.BytesSent(), c.counters.BytesReceived()
@@ -69,15 +92,28 @@ func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) 
 
 	r := &run{
 		c:           c,
+		ctx:         ctx,
 		cfg:         cfg,
 		rk:          rk,
 		ns:          dg.NumSites(),
 		stats:       &res.Stats,
+		memoize:     memoize,
 		alive:       make([]bool, len(c.workers)),
 		load:        make([]int, len(c.workers)),
 		initialized: make([]bool, len(c.workers)),
 		hasChain:    make([]bool, len(c.workers)),
 		budget:      cfg.Retry.MaxWorkerFailures,
+	}
+	if cfg.SitePersonalization != nil {
+		if len(cfg.SitePersonalization) != r.ns {
+			return nil, fmt.Errorf("coordinator: %w: site personalization length %d vs %d sites",
+				pagerank.ErrBadConfig, len(cfg.SitePersonalization), r.ns)
+		}
+		if !cfg.SitePersonalization.IsDistribution(1e-6) {
+			return nil, fmt.Errorf("coordinator: %w: site personalization is not a probability distribution",
+				pagerank.ErrBadConfig)
+		}
+		r.tele = cfg.SitePersonalization.Clone().Normalize()
 	}
 	for i, w := range c.workers {
 		if !w.isBroken() {
@@ -111,16 +147,35 @@ func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) 
 	}
 	res.Stats.LocalRankDuration = time.Since(localStart)
 
-	// Step 4: SiteRank — central, decentralized one-round-at-a-time, or
-	// decentralized with round batching.
+	// Step 4: the upper layer(s) — three-layer weights, central SiteRank,
+	// decentralized one-round-at-a-time, or decentralized with round
+	// batching.
 	siteStart := time.Now()
 	var siteRank matrix.Vector
 	switch {
-	case !cfg.DistributedSiteRank:
-		scores, rounds, err := rk.RankSites(lmm.WebConfig{
+	case cfg.ThreeLayer:
+		tl, err := rk.ThreeLayerWeights(cfg.DomainOf, lmm.WebConfig{
 			Damping: cfg.Damping,
 			Tol:     cfg.Tol,
 			MaxIter: cfg.MaxIter,
+			Ctx:     ctx,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: %w", err)
+		}
+		// ThreeLayerWeights allocates fresh vectors — no cloning needed.
+		siteRank = tl.SiteWeights
+		res.Domains = tl.Domains
+		res.DomainRank = tl.DomainRank
+		res.DomainOfSite = tl.DomainOfSite
+		res.SiteEntry = tl.SiteEntry
+	case !cfg.DistributedSiteRank:
+		scores, rounds, err := rk.RankSites(lmm.WebConfig{
+			Damping:             cfg.Damping,
+			Tol:                 cfg.Tol,
+			MaxIter:             cfg.MaxIter,
+			SitePersonalization: r.tele,
+			Ctx:                 ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("coordinator: %w", err)
@@ -150,6 +205,7 @@ func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) 
 	// in-process pipeline.
 	res.SiteRank = siteRank
 	res.DocRank = lmm.ComposeDocRank(dg, siteRank, localRanks)
+	res.LocalRanks = localRanks
 	res.LocalIterations = localIters
 
 	res.Stats.Messages = c.counters.Messages() - startMsgs
@@ -164,10 +220,23 @@ func (c *Coordinator) rankPrepared(rk *lmm.Ranker, cfg Config) (*Result, error) 
 // one-round-at-a-time distributed SiteRank will consume them; round
 // batching ships the whole chain separately instead, and central mode
 // ships no site-layer data at all.
+//
+// The payloads are memoized on the Coordinator per (Ranker, protocol
+// shape): a warm RankPrepared run reuses every edge list and SHA-256
+// digest instead of recomputing them — Stats.DigestBytesHashed stays at
+// zero — which is sound because a Ranker's graph is immutable by
+// contract (mutating the graph requires a new Ranker).
 func (r *run) buildShards() {
-	sg := r.rk.SiteGraph()
 	batch := r.cfg.batchRounds()
 	wantRows := r.cfg.DistributedSiteRank && batch <= 1
+	withChain := r.cfg.DistributedSiteRank && batch > 1
+	if p := r.c.prep; p != nil && p.rk == r.rk && p.wantRows == wantRows && p.withChain == withChain {
+		r.shards, r.refs, r.sizes = p.shards, p.refs, p.sizes
+		r.chain, r.chainRef = p.chain, p.chainRef
+		return
+	}
+
+	sg := r.rk.SiteGraph()
 	r.shards = make([]wire.SiteShard, r.ns)
 	r.refs = make([]wire.ShardRef, r.ns)
 	r.sizes = make([]int, r.ns)
@@ -188,8 +257,9 @@ func (r *run) buildShards() {
 		r.shards[s] = shard
 		r.refs[s] = wire.ShardRef{Site: s, Digest: shard.ContentDigest()}
 		r.sizes[s] = shard.NumDocs
+		r.stats.DigestBytesHashed += shard.DigestInputBytes()
 	}
-	if r.cfg.DistributedSiteRank && batch > 1 {
+	if withChain {
 		chain := &wire.SiteChain{NumSites: r.ns, RowPtr: make([]int, r.ns+1)}
 		for s := 0; s < r.ns; s++ {
 			if total := sg.G.OutWeight(s); total > 0 {
@@ -202,6 +272,14 @@ func (r *run) buildShards() {
 		}
 		r.chain = chain
 		r.chainRef = chain.ContentDigest()
+		r.stats.DigestBytesHashed += chain.DigestInputBytes()
+	}
+	if r.memoize {
+		r.c.prep = &preparedShards{
+			rk: r.rk, wantRows: wantRows, withChain: withChain,
+			shards: r.shards, refs: r.refs, sizes: r.sizes,
+			chain: r.chain, chainRef: r.chainRef,
+		}
 	}
 }
 
@@ -282,6 +360,9 @@ func (r *run) lose(idx int, cause error, reassign bool) (map[int]struct{}, error
 // every needed shard has landed.
 func (r *run) ship(need map[int]struct{}) error {
 	for {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
 		pending := make(map[int][]int)
 		for s := range need {
 			pending[r.owner[s]] = append(pending[r.owner[s]], s)
@@ -349,7 +430,7 @@ func (r *run) shipTo(idx int, sites []int) error {
 	w := r.c.workers[idx]
 	timeout := r.c.callTimeout()
 	if !r.initialized[idx] {
-		if _, err := w.call(&wire.Request{Kind: wire.KindReset}, &r.c.counters, timeout); err != nil {
+		if _, err := w.call(r.ctx, &wire.Request{Kind: wire.KindReset}, &r.c.counters, timeout); err != nil {
 			return err
 		}
 	}
@@ -366,7 +447,7 @@ func (r *run) shipTo(idx int, sites []int) error {
 			req.HasChain = true
 			req.ChainDigest = r.chainRef
 		}
-		resp, err := w.call(req, &r.c.counters, timeout)
+		resp, err := w.call(r.ctx, req, &r.c.counters, timeout)
 		if err != nil {
 			return err
 		}
@@ -392,7 +473,10 @@ func (r *run) shipTo(idx int, sites []int) error {
 			full = append(full, r.shards[s])
 		}
 	}
-	req := &wire.Request{Kind: wire.KindLoad, NumSites: r.ns, Shards: full, Cached: cached}
+	req := &wire.Request{Kind: wire.KindLoad, NumSites: r.ns, Cached: cached}
+	if err := r.packShards(req, full); err != nil {
+		return err
+	}
 	if needChain {
 		req.HasChain = true
 		req.ChainDigest = r.chainRef
@@ -400,7 +484,7 @@ func (r *run) shipTo(idx int, sites []int) error {
 			req.Chain = r.chain
 		}
 	}
-	resp, err := w.call(req, &r.c.counters, timeout)
+	resp, err := w.call(r.ctx, req, &r.c.counters, timeout)
 	if err != nil {
 		return err
 	}
@@ -440,15 +524,19 @@ func (r *run) shipTo(idx int, sites []int) error {
 
 	if len(resp.Missing) > 0 || (needChain && resp.MissingChain) {
 		req2 := &wire.Request{Kind: wire.KindLoad, NumSites: r.ns}
+		var evicted []wire.SiteShard
 		for _, s := range resp.Missing {
-			req2.Shards = append(req2.Shards, r.shards[s])
+			evicted = append(evicted, r.shards[s])
+		}
+		if err := r.packShards(req2, evicted); err != nil {
+			return err
 		}
 		if needChain && resp.MissingChain {
 			req2.HasChain = true
 			req2.ChainDigest = r.chainRef
 			req2.Chain = r.chain
 		}
-		resp2, err := w.call(req2, &r.c.counters, timeout)
+		resp2, err := w.call(r.ctx, req2, &r.c.counters, timeout)
 		if err != nil {
 			return err
 		}
@@ -462,6 +550,30 @@ func (r *run) shipTo(idx int, sites []int) error {
 	return nil
 }
 
+// packShards places the fully shipped shard batch into a KindLoad
+// request — plainly, or flate-compressed when Config.Compress is on,
+// recording raw vs compressed bytes. Called from concurrent per-worker
+// shipments, hence the stats lock.
+func (r *run) packShards(req *wire.Request, full []wire.SiteShard) error {
+	if len(full) == 0 {
+		return nil
+	}
+	if !r.cfg.Compress {
+		req.Shards = full
+		return nil
+	}
+	z, raw, err := wire.CompressShards(full)
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	req.ShardsZ = z
+	r.mu.Lock()
+	r.stats.ShardBytesRaw += uint64(raw)
+	r.stats.ShardBytesCompressed += uint64(len(z))
+	r.mu.Unlock()
+	return nil
+}
+
 // localPhase gathers every site's local DocRank from its owner,
 // re-ranking only reassigned sites when a worker dies mid-phase.
 func (r *run) localPhase(dg *graph.DocGraph) ([]matrix.Vector, []int, error) {
@@ -469,6 +581,9 @@ func (r *run) localPhase(dg *graph.DocGraph) ([]matrix.Vector, []int, error) {
 	localIters := make([]int, r.ns)
 	done := make([]bool, r.ns)
 	for {
+		if err := r.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		targets := make(map[int][]int)
 		for s := 0; s < r.ns; s++ {
 			if !done[s] {
@@ -490,7 +605,7 @@ func (r *run) localPhase(dg *graph.DocGraph) ([]matrix.Vector, []int, error) {
 			wg.Add(1)
 			go func(i, idx int) {
 				defer wg.Done()
-				resps[i], errs[i] = r.c.workers[idx].call(&wire.Request{
+				resps[i], errs[i] = r.c.workers[idx].call(r.ctx, &wire.Request{
 					Kind:    wire.KindRankLocal,
 					Damping: r.cfg.Damping,
 					Tol:     r.cfg.Tol,
@@ -602,6 +717,9 @@ func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
 	for round := 1; round <= maxIter; round++ {
 		var idxs []int
 		for {
+			if err := r.ctx.Err(); err != nil {
+				return nil, round, err
+			}
 			idxs = r.aliveIdxs()
 			resps := make([]*wire.Response, len(idxs))
 			errs := make([]error, len(idxs))
@@ -610,7 +728,7 @@ func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
 				wg.Add(1)
 				go func(i, idx int) {
 					defer wg.Done()
-					resps[i], errs[i] = r.c.workers[idx].call(&wire.Request{
+					resps[i], errs[i] = r.c.workers[idx].call(r.ctx, &wire.Request{
 						Kind:     wire.KindPowerRound,
 						NumSites: r.ns,
 						X:        x,
@@ -657,7 +775,8 @@ func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
 		}
 
 		// Reduce in worker order, then apply Mˆ's rank-one terms:
-		// y = f·(x'M) + (f·danglingMass + (1−f)·Σx)·v, v uniform.
+		// y = f·(x'M) + (f·danglingMass + (1−f)·Σx)·v, with v the
+		// (possibly personalized) teleport distribution.
 		next.Fill(0)
 		var dangMass float64
 		for _, idx := range idxs {
@@ -665,8 +784,14 @@ func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
 			dangMass += dangling[idx]
 		}
 		coeff := f*dangMass + (1-f)*x.Sum()
-		for t := range next {
-			next[t] = f*next[t] + coeff*uniform
+		if r.tele == nil {
+			for t := range next {
+				next[t] = f*next[t] + coeff*uniform
+			}
+		} else {
+			for t := range next {
+				next[t] = f*next[t] + coeff*r.tele[t]
+			}
 		}
 		next.Normalize()
 		residual := next.L1Diff(x)
@@ -694,15 +819,19 @@ func (r *run) batchedSiteRank() (matrix.Vector, int, error) {
 	exchanges := 0
 	cursor := 0
 	for rounds < maxIter {
+		if err := r.ctx.Err(); err != nil {
+			return nil, rounds, err
+		}
 		k := batch
 		if rounds+k > maxIter {
 			k = maxIter - rounds
 		}
 		idx := r.nextAlive(&cursor)
-		resp, err := r.c.workers[idx].call(&wire.Request{
+		resp, err := r.c.workers[idx].call(r.ctx, &wire.Request{
 			Kind:     wire.KindBatchRounds,
 			NumSites: r.ns,
 			X:        x,
+			V:        r.tele,
 			Rounds:   k,
 			Damping:  r.cfg.Damping,
 			Tol:      r.cfg.Tol,

@@ -13,10 +13,14 @@
 package wire
 
 import (
+	"bytes"
+	"compress/flate"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"fmt"
 	"hash"
+	"io"
 	"math"
 	"net"
 	"sync/atomic"
@@ -122,6 +126,11 @@ type Request struct {
 	Kind Kind
 	// Shards carries KindLoad payload: shards shipped in full.
 	Shards []SiteShard
+	// ShardsZ carries KindLoad shards in compressed form — the flate
+	// stream produced by CompressShards — when the coordinator's
+	// Config.Compress is on. A request may carry both Shards and
+	// ShardsZ; the worker concatenates them.
+	ShardsZ []byte
 	// Cached lists shards KindLoad activates from the worker's digest
 	// cache instead of shipping (negotiated by a preceding KindOffer).
 	Cached []ShardRef
@@ -148,6 +157,10 @@ type Request struct {
 	// X is the current SiteRank iterate for KindPowerRound and
 	// KindBatchRounds.
 	X []float64
+	// V is the site-layer teleport (personalization) distribution for
+	// KindBatchRounds; empty selects uniform. It must have NumSites
+	// non-negative entries with positive sum; the worker renormalizes.
+	V []float64
 	// Sites restricts KindRankLocal to the listed sites (empty = every
 	// loaded site) — the coordinator re-ranks only reassigned sites after
 	// a worker loss.
@@ -331,4 +344,66 @@ func (c *SiteChain) ContentDigest() Digest {
 // chain in full; see SiteShard.EstWireSize.
 func (c *SiteChain) EstWireSize() uint64 {
 	return 16 + 8*uint64(len(c.RowPtr)) + 12*uint64(len(c.Cols))
+}
+
+// DigestInputBytes returns how many bytes ContentDigest feeds through
+// SHA-256 for this shard — the basis of the coordinator's digest-work
+// accounting (Stats.DigestBytesHashed), which its per-Ranker memo drives
+// to zero on warm runs.
+func (s *SiteShard) DigestInputBytes() uint64 {
+	return 8 * uint64(3+3*len(s.Edges)+2*len(s.RowCols))
+}
+
+// DigestInputBytes is the SiteChain analogue of SiteShard.DigestInputBytes.
+func (c *SiteChain) DigestInputBytes() uint64 {
+	return 8 * uint64(1+len(c.RowPtr)+2*len(c.Cols))
+}
+
+// maxDecompressedBytes bounds how far a compressed shard payload may
+// expand, keeping a hostile flate stream (a "zip bomb") from claiming
+// unbounded memory before shard validation sees it. One GiB sits far
+// above any legitimate Load (MaxShardDocs caps the docs a load admits)
+// but well below address-space exhaustion, matching the amplification
+// stance of the other payload bounds.
+const maxDecompressedBytes = 1 << 30
+
+// CompressShards gob-encodes the shard batch and flate-compresses the
+// result, returning the compressed stream and the raw (uncompressed)
+// gob size — the pair the coordinator's compression accounting records.
+// Edge lists are integer-heavy and highly repetitive, so flate typically
+// shrinks them severalfold at BestSpeed.
+func CompressShards(shards []SiteShard) (z []byte, rawLen int, err error) {
+	var raw bytes.Buffer
+	if err := gob.NewEncoder(&raw).Encode(shards); err != nil {
+		return nil, 0, fmt.Errorf("wire: encode shards: %w", err)
+	}
+	var zb bytes.Buffer
+	fw, err := flate.NewWriter(&zb, flate.BestSpeed)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: flate: %w", err)
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, 0, fmt.Errorf("wire: compress shards: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, 0, fmt.Errorf("wire: compress shards: %w", err)
+	}
+	return zb.Bytes(), raw.Len(), nil
+}
+
+// DecompressShards reverses CompressShards, bounding the decompressed
+// size by maxDecompressedBytes so a hostile stream cannot expand without
+// limit.
+func DecompressShards(z []byte) ([]SiteShard, error) {
+	fr := flate.NewReader(bytes.NewReader(z))
+	defer fr.Close()
+	lr := &io.LimitedReader{R: fr, N: maxDecompressedBytes + 1}
+	var shards []SiteShard
+	if err := gob.NewDecoder(lr).Decode(&shards); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("wire: compressed shard payload expands past %d bytes", int64(maxDecompressedBytes))
+		}
+		return nil, fmt.Errorf("wire: decode compressed shards: %w", err)
+	}
+	return shards, nil
 }

@@ -395,11 +395,21 @@ func (w *Worker) handleLoad(sess *session, req *wire.Request) *wire.Response {
 	if req.NumSites < 0 || req.NumSites > wire.MaxSites {
 		return &wire.Response{Err: fmt.Sprintf("worker: site space %d outside [0, %d]", req.NumSites, wire.MaxSites)}
 	}
+	// Compressed shards are expanded (bounded) before validation; the
+	// validation below treats them exactly like plainly shipped ones.
+	fullShards := req.Shards
+	if len(req.ShardsZ) > 0 {
+		unpacked, err := wire.DecompressShards(req.ShardsZ)
+		if err != nil {
+			return &wire.Response{Err: "worker: " + err.Error()}
+		}
+		fullShards = append(fullShards[:len(fullShards):len(fullShards)], unpacked...)
+	}
 	type placed struct {
 		site  int
 		entry *cacheEntry
 	}
-	loaded := make([]placed, 0, len(req.Shards)+len(req.Cached))
+	loaded := make([]placed, 0, len(fullShards)+len(req.Cached))
 	resp := &wire.Response{}
 	// Loads into an unchanged site space accumulate onto the session's
 	// existing shards, so the memory bound must count those too. (A
@@ -419,12 +429,12 @@ func (w *Worker) handleLoad(sess *session, req *wire.Request) *wire.Response {
 		loaded = append(loaded, placed{site: site, entry: e})
 		return nil
 	}
-	for i := range req.Shards {
-		e, err := w.buildEntry(&req.Shards[i], req.NumSites)
+	for i := range fullShards {
+		e, err := w.buildEntry(&fullShards[i], req.NumSites)
 		if err != nil {
 			return &wire.Response{Err: "worker: " + err.Error()}
 		}
-		if errResp := admit(req.Shards[i].Site, e); errResp != nil {
+		if errResp := admit(fullShards[i].Site, e); errResp != nil {
 			return errResp
 		}
 	}
@@ -602,6 +612,30 @@ func handleBatchRounds(sess *session, req *wire.Request) *wire.Response {
 	if tol == 0 {
 		tol = matrix.DefaultTol
 	}
+	// An explicit teleport distribution (site-layer personalization)
+	// replaces the uniform vector in the rank-one correction. It is
+	// renormalized into a private copy so the arithmetic matches the
+	// coordinator's central path regardless of client rounding.
+	var tele matrix.Vector
+	if len(req.V) > 0 {
+		if len(req.V) != ns {
+			return &wire.Response{Err: fmt.Sprintf("worker: teleport length %d vs %d sites", len(req.V), ns)}
+		}
+		sum := 0.0
+		for _, v := range req.V {
+			if !(v >= 0) || math.IsInf(v, 0) {
+				return &wire.Response{Err: fmt.Sprintf("worker: teleport value %g not a probability", v)}
+			}
+			sum += v
+		}
+		if !(sum > 0) || math.IsInf(sum, 0) {
+			return &wire.Response{Err: fmt.Sprintf("worker: teleport sums to %g", sum)}
+		}
+		tele = make(matrix.Vector, ns)
+		for i, v := range req.V {
+			tele[i] = v / sum
+		}
+	}
 	chain := sess.chain
 	uniform := 1.0 / float64(ns)
 	x := matrix.Vector(req.X)
@@ -626,8 +660,14 @@ func handleBatchRounds(sess *session, req *wire.Request) *wire.Response {
 			}
 		}
 		coeff := f*dangMass + (1-f)*x.Sum()
-		for t := range next {
-			next[t] = f*next[t] + coeff*uniform
+		if tele == nil {
+			for t := range next {
+				next[t] = f*next[t] + coeff*uniform
+			}
+		} else {
+			for t := range next {
+				next[t] = f*next[t] + coeff*tele[t]
+			}
 		}
 		next.Normalize()
 		residual = next.L1Diff(x)

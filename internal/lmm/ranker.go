@@ -3,6 +3,7 @@ package lmm
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"lmmrank/internal/graph"
 	"lmmrank/internal/matrix"
@@ -16,25 +17,56 @@ type RankerOptions struct {
 	SiteGraph graph.SiteGraphOptions
 }
 
-// rankerSite is the precomputed serving state of one site: its local
-// subgraph, index, and a reusable PageRank solver. The solver (and the
-// CSR transition matrix inside it) is built lazily on the first Rank —
-// consumers of the structure alone, like the distributed coordinator
-// shipping edge lists to workers, never pay for it. fixed is the
-// constant local rank of 0/1-doc sites, which need no solver at all.
+// rankerSite is the precomputed structure of one site: its local
+// subgraph, index, and the shareable PageRank chain over it. The chain
+// (and the CSR transition matrix inside it) is built lazily under a
+// sync.Once on the first query that needs it — consumers of the
+// structure alone, like the distributed coordinator shipping edge lists
+// to workers, never pay for it, while concurrent Share()d rankers racing
+// on a cold site build it exactly once. fixed is the constant local rank
+// of 0/1-doc sites, which need no chain at all.
 type rankerSite struct {
-	sub    *graph.Digraph
-	idx    *graph.LocalIndex
-	solver *pagerank.Solver
-	fixed  matrix.Vector
+	sub   *graph.Digraph
+	idx   *graph.LocalIndex
+	fixed matrix.Vector
+
+	once  sync.Once
+	chain *pagerank.Chain
+}
+
+// getChain returns the site's shareable PageRank chain, building it on
+// first use (TransitionMatrix mutates the subgraph's cache, so the build
+// runs under the Once).
+func (st *rankerSite) getChain() *pagerank.Chain {
+	st.once.Do(func() { st.chain = pagerank.NewChain(st.sub.TransitionMatrix()) })
+	return st.chain
+}
+
+// rankerCore is the shared half of a Ranker: everything derived from the
+// graph alone, none of it query-specific. After Prepare (or the lazy
+// sync.Once builds) the core is immutable, which is what lets any number
+// of Share()d rankers serve queries over it concurrently.
+type rankerCore struct {
+	dg    *graph.DocGraph
+	sg    *graph.SiteGraph
+	sites []rankerSite
+
+	siteOnce  sync.Once
+	siteChain *pagerank.Chain
+}
+
+// getSiteChain returns the site-layer chain M(G_S), building it once.
+func (c *rankerCore) getSiteChain() *pagerank.Chain {
+	c.siteOnce.Do(func() { c.siteChain = pagerank.NewChain(c.sg.G.TransitionMatrix()) })
+	return c.siteChain
 }
 
 // Ranker is the serving-path form of the §3.2 pipeline: NewRanker
 // derives the SiteGraph and every local subgraph G^s_d once (the first
 // Rank adds the per-site transition matrices and solvers), then Rank
-// answers repeated queries — uniform or personalized at either layer —
-// with near-zero setup cost and no steady-state allocations beyond the
-// returned WebResult header.
+// answers repeated queries — uniform or personalized at either layer,
+// two- or three-layer — with near-zero setup cost and no steady-state
+// allocations beyond the returned WebResult header.
 //
 // That asymmetry is the point of the Layered Method: the expensive
 // structure (CSR matrices, dangling lists, scratch vectors) depends only
@@ -42,7 +74,12 @@ type rankerSite struct {
 // it. Personalized rankings (§3.2's two-layer personalization) therefore
 // cost the same as uniform ones.
 //
-// A Ranker is not safe for concurrent use: Rank reuses internal scratch.
+// A Ranker value is not safe for concurrent use: Rank reuses internal
+// scratch. Concurrent serving is still cheap — Share returns a new
+// Ranker over the same precomputed structure with private scratch, so N
+// goroutines hold N Rankers but pay the precomputation once (this is how
+// the root package's LocalEngine serves without locking).
+//
 // The vectors inside a returned WebResult alias that scratch and are
 // valid only until the next Rank call on the same Ranker — clone them
 // (or use the one-shot LayeredDocRank) to retain results.
@@ -51,11 +88,11 @@ type rankerSite struct {
 // (adding documents, links or sites) invalidates the precomputed
 // structure; build a new Ranker after any mutation.
 type Ranker struct {
-	dg    *graph.DocGraph
-	sg    *graph.SiteGraph
-	sites []rankerSite
+	core *rankerCore
 
+	// Query scratch, private to this Ranker value.
 	siteSolver *pagerank.Solver
+	solvers    []*pagerank.Solver
 
 	// Reusable result buffers, rewritten by every Rank.
 	docRank    matrix.Vector
@@ -79,17 +116,18 @@ func NewRanker(dg *graph.DocGraph, opts RankerOptions) (*Ranker, error) {
 	}
 	dg.G.Dedupe()
 
-	r := &Ranker{
+	core := &rankerCore{
 		dg:    dg,
 		sg:    graph.DeriveSiteGraph(dg, opts.SiteGraph),
 		sites: make([]rankerSite, dg.NumSites()),
 	}
 	// Extraction fans out across sites: the graph was deduplicated
 	// above, so every LocalSubgraph call reads shared state and writes
-	// only its own r.sites slot.
-	ForEachParallel(len(r.sites), 0, func(s int) {
+	// only its own core.sites slot.
+	ForEachParallel(len(core.sites), 0, func(s int) {
 		sub, idx := dg.LocalSubgraph(graph.SiteID(s))
-		st := rankerSite{sub: sub, idx: idx}
+		st := &core.sites[s]
+		st.sub, st.idx = sub, idx
 		switch sub.NumNodes() {
 		case 0:
 			st.fixed = matrix.Vector{}
@@ -97,24 +135,51 @@ func NewRanker(dg *graph.DocGraph, opts RankerOptions) (*Ranker, error) {
 			// A single-document site trivially holds all local mass.
 			st.fixed = matrix.Vector{1}
 		}
-		r.sites[s] = st
 	})
-	return r, nil
+	return &Ranker{core: core}, nil
+}
+
+// Share returns a new Ranker serving the same precomputed structure with
+// fully private query scratch. Share is how concurrent serving works:
+// the shared core (subgraphs, CSR matrices, dangling lists) is read-only
+// at query time, while solvers, iteration buffers and result vectors
+// belong to each shared Ranker alone — so goroutines holding distinct
+// Share()d rankers may Rank concurrently without any locking.
+//
+// Call Prepare on one of the rankers first (or serve a warm-up query
+// before going concurrent): it forces the lazily built shared pieces so
+// the cold-start builds are not left to race (they are sync.Once-guarded
+// and therefore safe either way, merely redundant).
+func (r *Ranker) Share() *Ranker { return &Ranker{core: r.core} }
+
+// Prepare eagerly builds every lazily constructed piece of the shared
+// structure — the site-layer chain and each multi-document site's CSR
+// transition matrix and PageRank chain — in parallel. After Prepare the
+// core is immutable; queries only read it.
+func (r *Ranker) Prepare() {
+	c := r.core
+	c.getSiteChain()
+	ForEachParallel(len(c.sites), 0, func(s int) {
+		st := &c.sites[s]
+		if st.fixed == nil {
+			st.getChain()
+		}
+	})
 }
 
 // DocGraph returns the graph this Ranker serves.
-func (r *Ranker) DocGraph() *graph.DocGraph { return r.dg }
+func (r *Ranker) DocGraph() *graph.DocGraph { return r.core.dg }
 
 // SiteGraph returns the precomputed site-level aggregation.
-func (r *Ranker) SiteGraph() *graph.SiteGraph { return r.sg }
+func (r *Ranker) SiteGraph() *graph.SiteGraph { return r.core.sg }
 
 // NumSites returns the number of sites.
-func (r *Ranker) NumSites() int { return len(r.sites) }
+func (r *Ranker) NumSites() int { return len(r.core.sites) }
 
 // LocalSubgraph returns site s's precomputed subgraph and index. Callers
 // must treat both as read-only.
 func (r *Ranker) LocalSubgraph(s graph.SiteID) (*graph.Digraph, *graph.LocalIndex) {
-	return r.sites[s].sub, r.sites[s].idx
+	return r.core.sites[s].sub, r.core.sites[s].idx
 }
 
 // RankSites computes only the site layer πS = PageRank(Mˆ(G_S)) — the
@@ -123,18 +188,33 @@ func (r *Ranker) LocalSubgraph(s graph.SiteID) (*graph.Digraph, *graph.LocalInde
 // next RankSites/Rank call); the int is the power-iteration count.
 func (r *Ranker) RankSites(cfg WebConfig) (matrix.Vector, int, error) {
 	if r.siteSolver == nil {
-		r.siteSolver = pagerank.NewSolver(r.sg.G.TransitionMatrix())
+		r.siteSolver = r.core.getSiteChain().NewSolver()
 	}
 	res, err := r.siteSolver.Solve(pagerank.Config{
 		Damping:         cfg.Damping,
 		Personalization: cfg.SitePersonalization,
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
+		Ctx:             cfg.Ctx,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("lmm: siterank: %w", err)
 	}
 	return res.Scores, res.Iterations, nil
+}
+
+// ensureQueryState lazily builds this Ranker's private result buffers,
+// so structure-only consumers (the distributed coordinator ships
+// subgraphs to workers and never ranks locally) don't pay for them.
+func (r *Ranker) ensureQueryState() {
+	if r.docRank != nil {
+		return
+	}
+	r.docRank = matrix.NewVector(r.core.dg.NumDocs())
+	r.solvers = make([]*pagerank.Solver, len(r.core.sites))
+	r.localRanks = make([]matrix.Vector, len(r.core.sites))
+	r.localIters = make([]int, len(r.core.sites))
+	r.errs = make([]error, len(r.core.sites))
 }
 
 // Rank executes the query phase of §3.2 against the precomputed
@@ -145,52 +225,15 @@ func (r *Ranker) RankSites(cfg WebConfig) (matrix.Vector, int, error) {
 // The returned WebResult's vectors alias the Ranker's internal buffers;
 // see the type comment for the reuse contract.
 func (r *Ranker) Rank(cfg WebConfig) (*WebResult, error) {
-	// Query-phase state is built on first use, so structure-only
-	// consumers (the distributed coordinator ships subgraphs to workers
-	// and never ranks locally) don't pay for result buffers.
-	if r.docRank == nil {
-		r.docRank = matrix.NewVector(r.dg.NumDocs())
-		r.localRanks = make([]matrix.Vector, len(r.sites))
-		r.localIters = make([]int, len(r.sites))
-		r.errs = make([]error, len(r.sites))
-	}
+	r.ensureQueryState()
 	siteRank, siteIters, err := r.RankSites(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	// Local DocRanks: every site solver is independent, so the loop is
-	// data-parallel; the single-worker case runs a plain loop — no
-	// goroutines, no closure, no allocations.
-	errs := r.errs
-	for s := range errs {
-		errs[s] = nil
+	if err := r.rankLocals(&cfg); err != nil {
+		return nil, err
 	}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 {
-		for s := range r.sites {
-			r.rankLocal(s, &cfg)
-		}
-	} else {
-		// The closure must capture a block-local copy: capturing cfg
-		// itself would force it onto the heap for the serial path too,
-		// breaking the zero-allocation budget.
-		c := cfg
-		ForEachParallel(len(r.sites), workers, func(s int) {
-			r.rankLocal(s, &c)
-		})
-	}
-	for s, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("lmm: local docrank of site %d (%s): %w",
-				s, r.dg.Sites[s].Name, err)
-		}
-	}
-
-	composeDocRankInto(r.docRank, r.dg, siteRank, r.localRanks)
+	composeDocRankInto(r.docRank, r.core.dg, siteRank, r.localRanks)
 	return &WebResult{
 		DocRank:         r.docRank,
 		SiteRank:        siteRank,
@@ -200,30 +243,67 @@ func (r *Ranker) Rank(cfg WebConfig) (*WebResult, error) {
 	}, nil
 }
 
+// rankLocals runs every site's local DocRank into this Ranker's buffers.
+// The loop is data-parallel — every site solver is independent — and the
+// single-worker case runs a plain loop: no goroutines, no closure, no
+// allocations.
+func (r *Ranker) rankLocals(cfg *WebConfig) error {
+	errs := r.errs
+	for s := range errs {
+		errs[s] = nil
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		for s := range r.core.sites {
+			r.rankLocal(s, cfg)
+		}
+	} else {
+		// The closure must capture a block-local copy: capturing cfg
+		// itself would force it onto the heap for the serial path too,
+		// breaking the zero-allocation budget.
+		c := *cfg
+		ForEachParallel(len(r.core.sites), workers, func(s int) {
+			r.rankLocal(s, &c)
+		})
+	}
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("lmm: local docrank of site %d (%s): %w",
+				s, r.core.dg.Sites[s].Name, err)
+		}
+	}
+	return nil
+}
+
 // rankLocal solves one site's local DocRank into the Ranker's reusable
 // buffers (step 3 of §3.2 for one site).
 func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
-	st := &r.sites[s]
+	st := &r.core.sites[s]
 	if st.fixed != nil {
 		r.localRanks[s] = st.fixed
 		r.localIters[s] = 0
 		return
 	}
-	if st.solver == nil {
-		// First query builds the site's CSR and solver; each site is
-		// owned by exactly one goroutine of the fan-out, and the
-		// barrier at its end publishes the solver for later queries.
-		st.solver = pagerank.NewSolver(st.sub.TransitionMatrix())
+	if r.solvers[s] == nil {
+		// First query on this Ranker builds its private solver over the
+		// shared chain; each site is owned by exactly one goroutine of
+		// the fan-out, and the barrier at its end publishes the solver
+		// for later queries.
+		r.solvers[s] = st.getChain().NewSolver()
 	}
 	var pers matrix.Vector
 	if cfg.DocPersonalization != nil {
 		pers = cfg.DocPersonalization[graph.SiteID(s)]
 	}
-	res, err := st.solver.Solve(pagerank.Config{
+	res, err := r.solvers[s].Solve(pagerank.Config{
 		Damping:         cfg.Damping,
 		Personalization: pers,
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
+		Ctx:             cfg.Ctx,
 	})
 	if err != nil {
 		r.errs[s] = err
@@ -231,4 +311,38 @@ func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
 	}
 	r.localRanks[s] = res.Scores
 	r.localIters[s] = res.Iterations
+}
+
+// Rank3 answers a three-layer (domain → site → page) query against the
+// precomputed structure: the domain layer and per-domain site-entry
+// distributions are computed fresh from the SiteGraph (they depend on
+// the query's domainOf grouping), the local DocRanks reuse this Ranker's
+// solvers and buffers exactly like Rank, and the composition follows the
+// recursive Partition argument. domainOf nil selects DefaultDomainOf.
+//
+// The returned Web3Result's DocRank and LocalRanks alias the Ranker's
+// scratch (same contract as Rank); the domain-layer vectors are freshly
+// allocated. Three-layer queries therefore allocate per call — the small
+// domain-layer graphs are rebuilt each time — but never mutate shared
+// state, so Share()d rankers may serve them concurrently.
+func (r *Ranker) Rank3(domainOf func(siteName string) string, cfg WebConfig) (*Web3Result, error) {
+	tl, err := r.ThreeLayerWeights(domainOf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.ensureQueryState()
+	if err := r.rankLocals(&cfg); err != nil {
+		return nil, fmt.Errorf("lmm: layered3: %w", err)
+	}
+	composeDocRankInto(r.docRank, r.core.dg, tl.SiteWeights, r.localRanks)
+	return &Web3Result{
+		DocRank:         r.docRank,
+		Domains:         tl.Domains,
+		DomainRank:      tl.DomainRank,
+		DomainOfSite:    tl.DomainOfSite,
+		SiteEntry:       tl.SiteEntry,
+		SiteWeights:     tl.SiteWeights,
+		LocalRanks:      r.localRanks,
+		LocalIterations: r.localIters,
+	}, nil
 }

@@ -49,6 +49,7 @@ func (s *SubgraphSolver) Rank(cfg WebConfig) (matrix.Vector, int, error) {
 		Damping: cfg.Damping,
 		Tol:     cfg.Tol,
 		MaxIter: cfg.MaxIter,
+		Ctx:     cfg.Ctx,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -1,6 +1,7 @@
 package lmm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,11 @@ type WebConfig struct {
 	// computations (0 = GOMAXPROCS). Step 3 of §3.2 "can be completely
 	// decentralized"; within one process that means data-parallel.
 	Parallelism int
+	// Ctx, when non-nil, cancels the pipeline cooperatively: every power
+	// iteration (site layer and each local DocRank) checks it and a
+	// cancelled or expired context aborts mid-run with the context's
+	// error. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // WebResult is the outcome of the layered DocRank pipeline.
@@ -228,6 +234,7 @@ func localDocRank(dg *graph.DocGraph, s graph.SiteID, cfg WebConfig) (matrix.Vec
 		Personalization: pers,
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
+		Ctx:             cfg.Ctx,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -248,6 +255,7 @@ func LocalDocRank(sub *graph.Digraph, cfg WebConfig) (matrix.Vector, int, error)
 		Damping: cfg.Damping,
 		Tol:     cfg.Tol,
 		MaxIter: cfg.MaxIter,
+		Ctx:     cfg.Ctx,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -262,5 +270,6 @@ func GlobalPageRank(dg *graph.DocGraph, cfg WebConfig) (pagerank.Result, error) 
 		Damping: cfg.Damping,
 		Tol:     cfg.Tol,
 		MaxIter: cfg.MaxIter,
+		Ctx:     cfg.Ctx,
 	})
 }

@@ -31,6 +31,11 @@ func DefaultDomainOf(siteName string) string {
 }
 
 // Web3Result is the outcome of the three-layer pipeline.
+//
+// Aliasing: a Web3Result returned by Ranker.Rank3 aliases the Ranker's
+// scratch in DocRank and LocalRanks (same contract as WebResult); the
+// one-shot LayeredDocRank3 uses a throwaway Ranker, so its result is
+// safe to retain. The domain-layer vectors are always freshly allocated.
 type Web3Result struct {
 	// DocRank is the final composed ranking per DocID.
 	DocRank matrix.Vector
@@ -43,34 +48,60 @@ type Web3Result struct {
 	// SiteEntry holds each site's entry probability within its domain
 	// (summing to 1 per domain).
 	SiteEntry matrix.Vector
+	// SiteWeights holds the per-site composition weights
+	// DomainRank(dom(s))·SiteEntry(s) the DocRank was composed under.
+	SiteWeights matrix.Vector
 	// LocalRanks holds each site's local DocRank, as in WebResult.
 	LocalRanks []matrix.Vector
+	// LocalIterations records each site's local power-method work, as
+	// in WebResult.
+	LocalIterations []int
 }
 
-// LayeredDocRank3 ranks documents with the three-layer model. domainOf
-// groups sites into domains (nil = DefaultDomainOf). With a single domain
-// the result reduces exactly to LayeredDocRank.
-func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, cfg WebConfig) (*Web3Result, error) {
-	if err := dg.Validate(); err != nil {
-		return nil, fmt.Errorf("lmm: layered3: %w", err)
-	}
-	if dg.NumDocs() == 0 {
-		return nil, fmt.Errorf("lmm: layered3: empty graph")
-	}
+// ThreeLayerWeights is the upper two layers of the three-layer model,
+// computed from the SiteGraph alone: the domain grouping, the domain
+// PageRank, each site's entry distribution within its domain, and the
+// per-site composition weights DomainRank(dom(s))·SiteEntry(s) that
+// ComposeDocRank pairs with local DocRanks. All fields are freshly
+// allocated — callers own them.
+type ThreeLayerWeights struct {
+	// Domains lists the distinct domain names in first-seen order.
+	Domains []string
+	// DomainRank holds the top-layer distribution per domain index.
+	DomainRank matrix.Vector
+	// DomainOfSite maps each SiteID to its domain index.
+	DomainOfSite []int
+	// SiteEntry holds each site's entry probability within its domain.
+	SiteEntry matrix.Vector
+	// SiteWeights holds DomainRank(dom(s))·SiteEntry(s) per SiteID — the
+	// site weights of the Partition-Theorem composition.
+	SiteWeights matrix.Vector
+}
+
+// ThreeLayerWeights computes the upper two layers of the three-layer
+// model from this Ranker's precomputed SiteGraph. It builds only small,
+// private domain-level graphs, never mutating shared structure, so
+// Share()d rankers may call it concurrently; the distributed coordinator
+// uses it to compose fleet-computed local DocRanks into a three-layer
+// ranking. domainOf nil selects DefaultDomainOf.
+func (r *Ranker) ThreeLayerWeights(domainOf func(siteName string) string, cfg WebConfig) (*ThreeLayerWeights, error) {
+	return threeLayerWeights(r.core.dg, r.core.sg, domainOf, cfg)
+}
+
+// threeLayerWeights computes domain grouping, DomainRank and SiteEntry
+// from an already-derived (and deduplicated) SiteGraph. It only reads sg
+// and dg; the graphs it runs PageRank over are freshly built.
+func threeLayerWeights(dg *graph.DocGraph, sg *graph.SiteGraph, domainOf func(siteName string) string, cfg WebConfig) (*ThreeLayerWeights, error) {
 	if domainOf == nil {
 		domainOf = DefaultDomainOf
 	}
-	// Dedupe before the parallel local-rank phase: LocalSubgraph calls
-	// Dedupe on the shared digraph, which mutates it — that must happen
-	// exactly once, up front, not racily inside the site fan-out.
-	dg.G.Dedupe()
 
 	// Group sites into domains.
 	ns := dg.NumSites()
 	domainIdx := make(map[string]int)
 	var domains []string
 	domainOfSite := make([]int, ns)
-	sitesOfDomain := make(map[int][]graph.SiteID)
+	var sitesOfDomain [][]graph.SiteID
 	for s := 0; s < ns; s++ {
 		name := domainOf(dg.Sites[s].Name)
 		di, ok := domainIdx[name]
@@ -78,14 +109,12 @@ func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, 
 			di = len(domains)
 			domainIdx[name] = di
 			domains = append(domains, name)
+			sitesOfDomain = append(sitesOfDomain, nil)
 		}
 		domainOfSite[s] = di
 		sitesOfDomain[di] = append(sitesOfDomain[di], graph.SiteID(s))
 	}
 	nd := len(domains)
-
-	// Site-level aggregation once; both upper layers derive from it.
-	sg := graph.DeriveSiteGraph(dg, cfg.SiteGraph)
 
 	// Top layer: domain graph aggregated from site edges.
 	domainGraph := graph.NewDigraph(nd)
@@ -97,6 +126,7 @@ func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, 
 		Damping: cfg.Damping,
 		Tol:     cfg.Tol,
 		MaxIter: cfg.MaxIter,
+		Ctx:     cfg.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lmm: layered3: domain layer: %w", err)
@@ -126,6 +156,7 @@ func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, 
 			Damping: cfg.Damping,
 			Tol:     cfg.Tol,
 			MaxIter: cfg.MaxIter,
+			Ctx:     cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("lmm: layered3: domain %q site layer: %w", domains[di], err)
@@ -135,24 +166,30 @@ func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, 
 		}
 	}
 
-	// Bottom layer: local DocRanks, shared with the two-layer pipeline.
-	local, _, err := localDocRanks(dg, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("lmm: layered3: %w", err)
+	weights := matrix.NewVector(ns)
+	for s := range weights {
+		weights[s] = domRes.Scores[domainOfSite[s]] * siteEntry[s]
 	}
-
-	// Compose the three layers.
-	out := &Web3Result{
+	return &ThreeLayerWeights{
 		Domains:      domains,
 		DomainRank:   domRes.Scores,
 		DomainOfSite: domainOfSite,
 		SiteEntry:    siteEntry,
-		LocalRanks:   local,
+		SiteWeights:  weights,
+	}, nil
+}
+
+// LayeredDocRank3 ranks documents with the three-layer model. domainOf
+// groups sites into domains (nil = DefaultDomainOf). With a single domain
+// the result reduces exactly to LayeredDocRank.
+//
+// It is the one-shot form of Ranker.Rank3: a throwaway Ranker is built
+// and queried once, so the returned Web3Result is safe to retain.
+func LayeredDocRank3(dg *graph.DocGraph, domainOf func(siteName string) string, cfg WebConfig) (*Web3Result, error) {
+	r, err := NewRanker(dg, RankerOptions{SiteGraph: cfg.SiteGraph})
+	if err != nil {
+		// NewRanker errors carry their own "lmm: ranker:" prefix.
+		return nil, err
 	}
-	weights := matrix.NewVector(dg.NumSites())
-	for s := range weights {
-		weights[s] = domRes.Scores[domainOfSite[s]] * siteEntry[s]
-	}
-	out.DocRank = ComposeDocRank(dg, weights, local)
-	return out, nil
+	return r.Rank3(domainOf, cfg)
 }

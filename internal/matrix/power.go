@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,11 @@ type PowerOptions struct {
 	// scratch buffers, remaining valid only until the scratch is used
 	// again. Leave nil for an independently owned result.
 	Scratch *PowerScratch
+	// Ctx, when non-nil, makes the iteration cooperatively cancellable:
+	// every iteration starts by checking Ctx.Err() and a cancelled or
+	// expired context aborts the run, returning the context's error with
+	// the best iterate so far. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // PowerResult reports the outcome of a power-method run.
@@ -91,6 +97,10 @@ type PowerResult struct {
 // Convergence is guaranteed for primitive stochastic matrices
 // (Perron–Frobenius); for merely irreducible periodic chains the iteration
 // may oscillate and the caller should expect ErrNotConverged.
+//
+// With PowerOptions.Ctx set, a cancelled context aborts the run between
+// iterations and the context's error is returned (the serving API's
+// cooperative-cancellation hook).
 func PowerLeft(m LeftMultiplier, opts PowerOptions) (PowerResult, error) {
 	n := m.Order()
 	tol := opts.Tol
@@ -121,6 +131,14 @@ func PowerLeft(m LeftMultiplier, opts PowerOptions) (PowerResult, error) {
 	fused, _ := m.(FusedLeftMultiplier)
 	res := PowerResult{}
 	for it := 1; it <= maxIter; it++ {
+		if opts.Ctx != nil {
+			// Ctx.Err is one atomic load on the stdlib contexts — cheap
+			// enough to pay every iteration for mid-run cancellation.
+			if err := opts.Ctx.Err(); err != nil {
+				res.Vector = x
+				return res, err
+			}
+		}
 		if fused != nil {
 			sum := fused.MulVecLeftFused(next, x)
 			res.Residual = normalizeResidual(next, x, sum)

@@ -7,6 +7,7 @@
 package pagerank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -44,6 +45,10 @@ type Config struct {
 	// Start optionally seeds the iteration, e.g. with a previous ranking
 	// for incremental recomputation.
 	Start matrix.Vector
+	// Ctx, when non-nil, cancels the power iteration cooperatively: a
+	// cancelled or expired context aborts mid-run and the context's error
+	// is returned (wrapped). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 func (c Config) damping() float64 {
@@ -78,7 +83,7 @@ func (c Config) teleport(n int) matrix.Vector {
 }
 
 func (c Config) powerOptions() matrix.PowerOptions {
-	return matrix.PowerOptions{Tol: c.Tol, MaxIter: c.MaxIter, Start: c.Start}
+	return matrix.PowerOptions{Tol: c.Tol, MaxIter: c.MaxIter, Start: c.Start, Ctx: c.Ctx}
 }
 
 // Result is the outcome of a PageRank computation.
@@ -211,6 +216,37 @@ func Sparse(m *matrix.CSR, cfg Config) (Result, error) {
 	}, nil
 }
 
+// Chain is the immutable, shareable half of a Solver: the row-normalized
+// transition matrix, its dangling-row list and the uniform teleport
+// vector. One Chain can back any number of Solvers concurrently — it is
+// read-only after construction — so a serving engine precomputes one
+// Chain per graph and hands each goroutine its own cheap Solver over it.
+type Chain struct {
+	m        *matrix.CSR
+	dangling []int
+	uniform  matrix.Vector
+}
+
+// NewChain precomputes the shareable PageRank state of the
+// row-normalized chain m. The matrix is captured by reference and must
+// not change while the chain is in use.
+func NewChain(m *matrix.CSR) *Chain {
+	return &Chain{m: m, dangling: m.DanglingRows(), uniform: matrix.Uniform(m.Order())}
+}
+
+// Order returns the chain dimension.
+func (c *Chain) Order() int { return c.m.Order() }
+
+// NewSolver returns a fresh Solver over this chain: private teleport
+// buffer and power scratch, shared read-only matrix and dangling list.
+func (c *Chain) NewSolver() *Solver {
+	return &Solver{
+		chain:    c,
+		op:       Operator{m: c.m, dangling: c.dangling},
+		teleport: matrix.NewVector(c.m.Order()),
+	}
+}
+
 // Solver runs repeated PageRank computations over one fixed chain with
 // zero steady-state allocations: the dangling-row list, the uniform
 // teleport, the personalization buffer and the power-method scratch are
@@ -219,24 +255,21 @@ func Sparse(m *matrix.CSR, cfg Config) (Result, error) {
 //
 // A Solver is not safe for concurrent use, and the Scores of a returned
 // Result alias its scratch: they are valid only until the next Solve.
-// Clone them to retain a result across calls.
+// Clone them to retain a result across calls. Solvers sharing one Chain
+// may run concurrently — only the Chain is shared, never the scratch.
 type Solver struct {
+	chain    *Chain
 	op       Operator
-	uniform  matrix.Vector
 	teleport matrix.Vector
 	scratch  matrix.PowerScratch
 }
 
 // NewSolver precomputes the reusable state for PageRank runs over the
 // row-normalized chain m. The matrix is captured by reference and must
-// not change while the solver is in use.
+// not change while the solver is in use. Callers wanting several solvers
+// over the same matrix should build one Chain and call Chain.NewSolver.
 func NewSolver(m *matrix.CSR) *Solver {
-	n := m.Order()
-	return &Solver{
-		op:       Operator{m: m, dangling: m.DanglingRows()},
-		uniform:  matrix.Uniform(n),
-		teleport: matrix.NewVector(n),
-	}
+	return NewChain(m).NewSolver()
 }
 
 // Order returns the chain dimension.
@@ -252,7 +285,7 @@ func (s *Solver) Solve(cfg Config) (Result, error) {
 	}
 	s.op.f = cfg.damping()
 	if cfg.Personalization == nil {
-		s.op.v = s.uniform
+		s.op.v = s.chain.uniform
 	} else {
 		copy(s.teleport, cfg.Personalization)
 		s.teleport.Normalize()
@@ -263,6 +296,7 @@ func (s *Solver) Solve(cfg Config) (Result, error) {
 		MaxIter: cfg.MaxIter,
 		Start:   cfg.Start,
 		Scratch: &s.scratch,
+		Ctx:     cfg.Ctx,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("pagerank: %w", err)

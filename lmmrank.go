@@ -1,6 +1,7 @@
 package lmmrank
 
 import (
+	"context"
 	"io"
 
 	"lmmrank/internal/crawler"
@@ -138,8 +139,42 @@ func DeriveSiteGraph(dg *DocGraph, opts SiteGraphOptions) *SiteGraph {
 
 // LayeredDocRank runs the §3.2 pipeline: SiteRank × independent local
 // DocRanks, composed by the Partition Theorem.
+//
+// It is the one-shot wrapper over Engine: a throwaway LocalEngine is
+// built and queried once, so the result is caller-owned. Callers
+// ranking the same graph repeatedly should hold a LocalEngine (or, for
+// single-goroutine serving, a Ranker) instead.
 func LayeredDocRank(dg *DocGraph, cfg WebConfig) (*WebResult, error) {
-	return lmm.LayeredDocRank(dg, cfg)
+	eng, err := NewLocalEngine(dg, EngineOptions{SiteGraph: cfg.SiteGraph, Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Rank(ctxOf(cfg), Query{
+		Damping:             cfg.Damping,
+		Tol:                 cfg.Tol,
+		MaxIter:             cfg.MaxIter,
+		SitePersonalization: cfg.SitePersonalization,
+		DocPersonalization:  cfg.DocPersonalization,
+		WantLocalRanks:      true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WebResult{
+		DocRank:         res.DocRank,
+		SiteRank:        res.SiteRank,
+		LocalRanks:      res.LocalRanks,
+		SiteIterations:  res.SiteIterations,
+		LocalIterations: res.LocalIterations,
+	}, nil
+}
+
+// ctxOf lifts the optional WebConfig.Ctx into a non-nil context.
+func ctxOf(cfg WebConfig) context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
 }
 
 // Ranker is the precomputed serving form of the layered pipeline: build
@@ -147,6 +182,11 @@ func LayeredDocRank(dg *DocGraph, cfg WebConfig) (*WebResult, error) {
 // personalized) with near-zero setup cost and no steady-state
 // allocations. Results alias the Ranker's scratch — see lmm.Ranker for
 // the reuse contract.
+//
+// Deprecated-in-spirit for serving: Ranker is the single-goroutine,
+// scratch-aliasing expert path. Most callers want Engine — NewLocalEngine
+// wraps a pool of Rankers behind the same precomputation and returns
+// caller-owned results, safely concurrent and context-aware.
 type Ranker = lmm.Ranker
 
 // RankerOptions fixes the graph-derivation choices a Ranker precomputes.
@@ -165,26 +205,59 @@ type Web3Result = lmm.Web3Result
 // LayeredDocRank3 ranks documents with the three-layer model of the §2.2
 // multi-layer extension; domainOf groups sites into domains (nil = last
 // two host labels). With one domain it reduces exactly to LayeredDocRank.
+//
+// Like LayeredDocRank, it is the one-shot wrapper over Engine (a
+// ThreeLayer Query against a throwaway LocalEngine): the result is
+// caller-owned.
 func LayeredDocRank3(dg *DocGraph, domainOf func(siteName string) string, cfg WebConfig) (*Web3Result, error) {
-	return lmm.LayeredDocRank3(dg, domainOf, cfg)
+	eng, err := NewLocalEngine(dg, EngineOptions{SiteGraph: cfg.SiteGraph, Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Rank(ctxOf(cfg), Query{
+		Damping:            cfg.Damping,
+		Tol:                cfg.Tol,
+		MaxIter:            cfg.MaxIter,
+		DocPersonalization: cfg.DocPersonalization,
+		ThreeLayer:         true,
+		DomainOf:           domainOf,
+		WantLocalRanks:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Web3Result{
+		DocRank:         res.DocRank,
+		Domains:         res.Domains,
+		DomainRank:      res.DomainRank,
+		DomainOfSite:    res.DomainOfSite,
+		SiteEntry:       res.SiteEntry,
+		LocalRanks:      res.LocalRanks,
+		LocalIterations: res.LocalIterations,
+	}, nil
 }
 
 // PageRank computes the flat PageRank baseline over the whole DocGraph.
+// The returned vector is caller-owned (cloned off any solver state).
 func PageRank(dg *DocGraph, cfg WebConfig) (Vector, error) {
 	res, err := lmm.GlobalPageRank(dg, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return res.Scores, nil
+	// The one-shot solve allocates fresh iterate buffers today, but the
+	// public contract is ownership, not implementation: clone so no
+	// future solver-scratch reuse can leak through this boundary.
+	return res.Scores.Clone(), nil
 }
 
-// PageRankGraph computes PageRank of a bare directed graph.
+// PageRankGraph computes PageRank of a bare directed graph. The
+// returned vector is caller-owned (cloned off any solver state).
 func PageRankGraph(g *Digraph, damping float64) (Vector, error) {
 	res, err := pagerank.Graph(g, pagerank.Config{Damping: damping})
 	if err != nil {
 		return nil, err
 	}
-	return res.Scores, nil
+	return res.Scores.Clone(), nil
 }
 
 // GenerateCampusWeb builds a synthetic campus web with ground-truth spam
