@@ -1,4 +1,6 @@
-# Development targets for lmmrank. `make check` is the CI gate.
+# Development targets for lmmrank. `make ci` is the full CI gate —
+# exactly what .github/workflows/ci.yml runs, so the local and hosted
+# gates cannot drift; `make check` is its fast core.
 
 # Pipelines (bench | benchjson) must fail when go test fails, not when
 # only the last stage does.
@@ -7,7 +9,12 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench docs
+.PHONY: ci check fmt vet build test race bench bench-smoke docs
+
+# The umbrella target CI calls: the fast gate, the race detector over
+# the concurrency-heavy packages, and a 1x smoke pass over every
+# benchmark (so the E-series cannot rot between bench sessions).
+ci: check race bench-smoke
 
 check: fmt vet build test docs
 
@@ -29,9 +36,10 @@ test:
 # The distributed runtime is concurrency-heavy, internal/lmm holds the
 # parallel-pipeline regression tests (undeduped shared graphs), and the
 # root package hosts the concurrent Engine serving tests; keep all three
-# race-clean.
+# race-clean. The explicit timeout keeps a wedged networked test from
+# stalling CI for the runner's full budget.
 race:
-	$(GO) test -race . ./internal/dist/... ./internal/lmm/...
+	$(GO) test -race -timeout 10m . ./internal/dist/... ./internal/lmm/...
 
 # Documentation gate: go vet's doc-adjacent checks run under `vet`; this
 # target additionally fails when any package (library or command) lacks a
@@ -49,9 +57,10 @@ docs:
 		echo "every package needs a '// Package ...' or '// Command ...' godoc comment"; exit 1; \
 	fi
 
-# Quick smoke pass over every benchmark in the module.
+# Quick smoke pass over every benchmark in the module (bounded like
+# `race`, for the same CI reason).
 bench-smoke:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench . -benchtime 1x -timeout 10m -run '^$$' ./...
 
 # The perf trajectory: run the E-series benchmarks with allocation
 # reporting and record the session in BENCH_pr2.json under BENCH_LABEL

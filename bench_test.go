@@ -258,6 +258,84 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// churnBenchWeb generates a private web per churn sub-benchmark (the
+// shared benchWeb must stay immutable — other benchmarks reuse it).
+func churnBenchWeb(seed int64) *webgen.Web {
+	return webgen.Generate(webgen.Config{
+		Seed:                seed,
+		Sites:               80,
+		MeanSitePages:       25,
+		AuthorityPages:      6,
+		IntraLinksPerPage:   2,
+		InterLinkFraction:   0.25,
+		DynamicClusterPages: 300,
+		DocClusterPages:     300,
+	})
+}
+
+// churnEdit applies one deterministic 1-site edit (two intra-site links)
+// and returns the changed site.
+func churnEdit(dg *DocGraph, i int) SiteID {
+	site := SiteID(i % 80)
+	docs := dg.Sites[site].Docs
+	if len(docs) >= 3 {
+		a, b, c := int(docs[i%len(docs)]), int(docs[(i+1)%len(docs)]), int(docs[(i+2)%len(docs)])
+		if a != b {
+			dg.G.AddLink(a, b)
+		}
+		if b != c {
+			dg.G.AddLink(b, c)
+		}
+	}
+	return site
+}
+
+// BenchmarkE9ChurnUpdate measures the churn serving path: after a 1-site
+// edit, "cold-rebuild" pays a full NewLocalEngine + query, while
+// "warm-update" runs Engine.Update — only the dirty site's structure
+// rebuilds and the refresh solve warm-starts from the previous solution
+// — for the same <1e-9 ranking. The gap (time and allocs) is the E-series
+// record of what incremental serving buys.
+func BenchmarkE9ChurnUpdate(b *testing.B) {
+	ctx := context.Background()
+	b.Run("cold-rebuild", func(b *testing.B) {
+		web := churnBenchWeb(2026)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			churnEdit(web.Graph, i)
+			eng, err := NewLocalEngine(web.Graph, EngineOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Rank(ctx, Query{Tol: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-update", func(b *testing.B) {
+		web := churnBenchWeb(2026)
+		eng, err := NewLocalEngine(web.Graph, EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Rank(ctx, Query{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			site := churnEdit(web.Graph, i)
+			if err := eng.Update(ctx, GraphDelta{ChangedSites: []SiteID{site}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Rank(ctx, Query{Tol: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkBaselines times the comparison algorithms on the same web:
 // BlockRank (the closest prior work) and HITS (the other baseline the
 // paper reviews).

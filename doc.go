@@ -67,11 +67,35 @@
 // selects the default 0.85 — an explicit zero cannot be requested, tiny
 // positive values are honored as given.
 //
-// Invalidation: engines and Rankers capture their DocGraph by reference
-// and precompute derived structure from it; mutating the graph
-// afterwards (adding documents, links or sites) invalidates them —
-// build a new one. The same applies to the distributed runtime's shard
-// digests: an unchanged graph re-ranked through a DistEngine (or
-// Coordinator.RankPrepared) hits the workers' caches and the
-// coordinator's digest memo, a mutated graph naturally misses.
+// Invalidation and churn: engines and Rankers capture their DocGraph by
+// reference and precompute derived structure from it. Mutating the
+// graph invalidates that structure, and the invalidation is enforced:
+// the graph carries a mutation version, and a query against stale
+// structure fails with ErrGraphMutated instead of silently serving
+// stale rankings. The supported way to change a served graph is
+// Engine.Update(ctx, GraphDelta) — graph churn as a serving operation:
+//
+//   - Ownership during Update: put the mutation in GraphDelta.Apply and
+//     the engine runs it under its update lock, after in-flight queries
+//     drain — the race-free path. A nil Apply means the caller already
+//     mutated the graph, which is only safe with no queries in flight.
+//     Update blocks until running queries finish, then swaps the
+//     serving structure atomically; concurrent Rank calls are safe
+//     throughout and never observe a half-updated engine.
+//   - ChangedSites is the caller's contract: it must list every site
+//     whose pages or links changed (appended sites are implicit). Only
+//     those sites' structure is rebuilt — locally their subgraphs,
+//     matrices and solvers (clean sites' chains are shared by pointer,
+//     and queries warm-start from the previous solution);
+//     distributedly their shards (clean shards stay in the worker
+//     caches and are never re-shipped — Result.Dist.ShardsReused /
+//     ShardsReshipped account for it).
+//   - After a failed Update (or an out-of-band mutation), queries keep
+//     failing with ErrGraphMutated until a successful Update or a fresh
+//     engine — recovery is always explicit.
+//
+// The expert-path equivalents are lmm-level: Ranker.Rebuild(changed)
+// for the structural half and WebConfig.SiteStart/LocalStarts for the
+// warm seeds; UpdateLayeredDocRank remains the one-shot functional
+// refresh.
 package lmmrank

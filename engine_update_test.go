@@ -1,0 +1,362 @@
+package lmmrank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// churnTestWeb is a small campus web for update tests.
+func churnTestWeb() *CampusWeb {
+	return GenerateCampusWeb(CampusWebConfig{
+		Seed:                7,
+		Sites:               18,
+		MeanSitePages:       12,
+		DynamicClusterPages: 50,
+		DocClusterPages:     50,
+	})
+}
+
+// editSite adds a couple of intra-site links to site s — the canonical
+// 1-site churn event.
+func editSite(t *testing.T, dg *DocGraph, s SiteID) {
+	t.Helper()
+	docs := dg.Sites[s].Docs
+	if len(docs) < 3 {
+		t.Fatalf("site %d too small for the edit", s)
+	}
+	dg.G.AddLink(int(docs[0]), int(docs[2]))
+	dg.G.AddLink(int(docs[2]), int(docs[1]))
+}
+
+// TestEngineUpdateWarmMatchesColdRebuild is the acceptance pin of the
+// churn path: rankings served after Engine.Update agree with a cold
+// NewLocalEngine over the mutated graph to < 1e-9, while the warm query
+// does measurably fewer power iterations.
+func TestEngineUpdateWarmMatchesColdRebuild(t *testing.T) {
+	web := churnTestWeb()
+	dg := web.Graph
+	ctx := context.Background()
+	q := Query{Tol: 1e-11}
+
+	eng, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	if _, err := eng.Rank(ctx, q); err != nil {
+		t.Fatalf("pre-churn Rank: %v", err)
+	}
+
+	const site = SiteID(4)
+	err = eng.Update(ctx, GraphDelta{
+		ChangedSites: []SiteID{site},
+		Apply: func(dg *DocGraph) error {
+			editSite(t, dg, site)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	warm, err := eng.Rank(ctx, q)
+	if err != nil {
+		t.Fatalf("post-update Rank: %v", err)
+	}
+	coldEng, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("cold NewLocalEngine: %v", err)
+	}
+	cold, err := coldEng.Rank(ctx, q)
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if d := warm.DocRank.L1Diff(cold.DocRank); d >= 1e-9 {
+		t.Errorf("‖warm − cold‖₁ = %g, want < 1e-9", d)
+	}
+	if d := warm.SiteRank.L1Diff(cold.SiteRank); d >= 1e-9 {
+		t.Errorf("‖warm − cold‖₁ on SiteRank = %g, want < 1e-9", d)
+	}
+	if s := warm.DocRank.Sum(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("warm DocRank sums to %g", s)
+	}
+
+	// The warm query starts from the update's refreshed solution, the
+	// cold one from uniform: strictly less power-method work.
+	warmIters, coldIters := warm.SiteIterations, cold.SiteIterations
+	for i := range warm.LocalIterations {
+		warmIters += warm.LocalIterations[i]
+		coldIters += cold.LocalIterations[i]
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm query did %d iterations, cold %d — no warm-start win", warmIters, coldIters)
+	}
+
+	// The other query shapes keep working against the updated core.
+	if _, err := eng.Rank(ctx, Query{ThreeLayer: true}); err != nil {
+		t.Errorf("three-layer query after Update: %v", err)
+	}
+	if res, err := eng.Rank(ctx, Query{TopK: 5}); err != nil || len(res.Top) != 5 {
+		t.Errorf("top-k query after Update: res=%v err=%v", res, err)
+	}
+}
+
+// TestEngineMutationWithoutUpdateFails pins the footgun fix: a graph
+// mutation not delivered through Update turns queries into a documented
+// ErrGraphMutated (instead of silently stale rankings), and a follow-up
+// Update listing the changed site restores service.
+func TestEngineMutationWithoutUpdateFails(t *testing.T) {
+	web := churnTestWeb()
+	dg := web.Graph
+	ctx := context.Background()
+	eng, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	if _, err := eng.Rank(ctx, Query{}); err != nil {
+		t.Fatalf("pre-churn Rank: %v", err)
+	}
+
+	const site = SiteID(2)
+	editSite(t, dg, site) // behind the engine's back
+
+	if _, err := eng.Rank(ctx, Query{}); !errors.Is(err, ErrGraphMutated) {
+		t.Fatalf("Rank after external mutation: err = %v, want ErrGraphMutated", err)
+	}
+	// Update with the mutation already applied (nil Apply) recovers.
+	if err := eng.Update(ctx, GraphDelta{ChangedSites: []SiteID{site}}); err != nil {
+		t.Fatalf("recovery Update: %v", err)
+	}
+	if _, err := eng.Rank(ctx, Query{}); err != nil {
+		t.Errorf("Rank after recovery Update: %v", err)
+	}
+}
+
+// TestEngineUpdateApplyError: a failing Apply leaves the engine on its
+// previous core and the error surfaces wrapped.
+func TestEngineUpdateApplyError(t *testing.T) {
+	web := churnTestWeb()
+	ctx := context.Background()
+	eng, err := NewLocalEngine(web.Graph, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	boom := errors.New("boom")
+	err = eng.Update(ctx, GraphDelta{Apply: func(*DocGraph) error { return boom }})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Update with failing Apply: err = %v, want boom", err)
+	}
+	// Nothing mutated, so the engine keeps serving.
+	if _, err := eng.Rank(ctx, Query{}); err != nil {
+		t.Errorf("Rank after failed Apply: %v", err)
+	}
+}
+
+// TestEngineFailedUpdateKeepsSitesDirty pins the failed-update recovery
+// contract: when Apply has mutated the graph but the update then fails
+// (here: the context is cancelled during the refresh solve), the
+// mutated sites stay recorded, and the next successful Update — listing
+// only its *own* changed sites — must rebuild the earlier ones too.
+// Forgetting them would bless the pre-edit subgraphs into the new core
+// and serve silently stale rankings.
+func TestEngineFailedUpdateKeepsSitesDirty(t *testing.T) {
+	web := churnTestWeb()
+	dg := web.Graph
+	ctx := context.Background()
+	eng, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	if _, err := eng.Rank(ctx, Query{}); err != nil {
+		t.Fatalf("pre-churn Rank: %v", err)
+	}
+
+	// Update #1 mutates site 3 and then fails: Apply cancels the update
+	// context, so the refresh solve aborts after the graph changed.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	err = eng.Update(cctx, GraphDelta{
+		ChangedSites: []SiteID{3},
+		Apply: func(dg *DocGraph) error {
+			editSite(t, dg, 3)
+			cancel()
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Update: err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Rank(ctx, Query{}); !errors.Is(err, ErrGraphMutated) {
+		t.Fatalf("Rank after failed Update: err = %v, want ErrGraphMutated", err)
+	}
+
+	// Update #2 lists only its own site; site 3 must be rebuilt anyway.
+	err = eng.Update(ctx, GraphDelta{
+		ChangedSites: []SiteID{5},
+		Apply: func(dg *DocGraph) error {
+			editSite(t, dg, 5)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("recovery Update: %v", err)
+	}
+	got, err := eng.Rank(ctx, Query{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("Rank after recovery: %v", err)
+	}
+	coldEng, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("cold NewLocalEngine: %v", err)
+	}
+	want, err := coldEng.Rank(ctx, Query{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if d := got.DocRank.L1Diff(want.DocRank); d >= 1e-9 {
+		t.Errorf("‖recovered − cold‖₁ = %g, want < 1e-9 (site 3's edit was dropped?)", d)
+	}
+}
+
+// TestEngineUpdateConcurrentWithRank hammers Update against concurrent
+// Rank traffic: queries must never error (beyond none expected) or
+// observe a half-swapped core. Run under -race via make race.
+func TestEngineUpdateConcurrentWithRank(t *testing.T) {
+	web := churnTestWeb()
+	dg := web.Graph
+	ctx := context.Background()
+	eng, err := NewLocalEngine(dg, EngineOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+
+	const queriers = 4
+	stop := make(chan struct{})
+	errCh := make(chan error, queriers)
+	var wg sync.WaitGroup
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := eng.Rank(ctx, Query{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if s := res.DocRank.Sum(); math.Abs(s-1) > 1e-6 {
+					errCh <- fmt.Errorf("DocRank sums to %g", s)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		site := SiteID(i + 1)
+		err := eng.Update(ctx, GraphDelta{
+			ChangedSites: []SiteID{site},
+			Apply: func(dg *DocGraph) error {
+				docs := dg.Sites[site].Docs
+				if len(docs) >= 2 {
+					dg.G.AddLink(int(docs[0]), int(docs[1]))
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("concurrent Update %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("concurrent Rank: %v", err)
+	default:
+	}
+}
+
+// TestDistEngineUpdate drives the distributed churn path end to end
+// through the Engine API: after Update, the next query re-ships only
+// the changed shard (ShardsReused > 0, ShardsReshipped small) and the
+// ranking matches a LocalEngine over the same mutated graph to < 1e-9.
+func TestDistEngineUpdate(t *testing.T) {
+	web := churnTestWeb()
+	dg := web.Graph
+	ns := dg.NumSites()
+	ctx := context.Background()
+
+	cl, err := StartCluster(3)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer cl.Close()
+	eng, err := NewDistEngine(cl, dg, DistConfig{})
+	if err != nil {
+		t.Fatalf("NewDistEngine: %v", err)
+	}
+	cold, err := eng.Rank(ctx, Query{})
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if cold.Dist.ShardsReshipped != ns {
+		t.Fatalf("cold run reshipped %d shards, want %d", cold.Dist.ShardsReshipped, ns)
+	}
+
+	const site = SiteID(6)
+	err = eng.Update(ctx, GraphDelta{
+		ChangedSites: []SiteID{site},
+		Apply: func(dg *DocGraph) error {
+			editSite(t, dg, site)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	warm, err := eng.Rank(ctx, Query{})
+	if err != nil {
+		t.Fatalf("post-update Rank: %v", err)
+	}
+	if warm.Dist.ShardsReused != ns-1 || warm.Dist.ShardsReshipped != 1 {
+		t.Errorf("delta query reused %d / reshipped %d shards, want %d / 1",
+			warm.Dist.ShardsReused, warm.Dist.ShardsReshipped, ns-1)
+	}
+	if warm.Dist.BytesSent*4 > cold.Dist.BytesSent {
+		t.Errorf("delta query sent %d bytes vs %d cold — not delta-shaped",
+			warm.Dist.BytesSent, cold.Dist.BytesSent)
+	}
+
+	local, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	ref, err := local.Rank(ctx, Query{})
+	if err != nil {
+		t.Fatalf("local Rank: %v", err)
+	}
+	if d := warm.DocRank.L1Diff(ref.DocRank); d >= 1e-9 {
+		t.Errorf("‖dist − local‖₁ after Update = %g, want < 1e-9", d)
+	}
+
+	// Mutating behind the engine's back is refused distributedly too.
+	editSite(t, dg, 1)
+	if _, err := eng.Rank(ctx, Query{}); !errors.Is(err, ErrGraphMutated) {
+		t.Errorf("Rank after external mutation: err = %v, want ErrGraphMutated", err)
+	}
+	if err := eng.Update(ctx, GraphDelta{ChangedSites: []SiteID{1}}); err != nil {
+		t.Fatalf("recovery Update: %v", err)
+	}
+	if _, err := eng.Rank(ctx, Query{}); err != nil {
+		t.Errorf("Rank after recovery Update: %v", err)
+	}
+}

@@ -176,6 +176,16 @@ type Stats struct {
 	CacheHits       int
 	CacheMisses     int
 	ShardBytesSaved uint64
+	// ShardsReused counts site shards the run activated from worker
+	// caches by digest instead of shipping; ShardsReshipped counts the
+	// ones that crossed the wire in full. Unlike CacheHits/CacheMisses
+	// they exclude the site chain, so a churn run over an N-site web
+	// shows exactly which fraction of the shard payload moved: after a
+	// 1-site edit delivered through the delta path (Rebuild +
+	// RefreshPrepared, or Engine.Update) a warm run reads
+	// ShardsReshipped == 1, ShardsReused == N-1.
+	ShardsReused    int
+	ShardsReshipped int
 	// DigestBytesHashed counts the bytes this run fed through SHA-256
 	// computing shard and chain content digests. The coordinator
 	// memoizes digests per Ranker, so a warm RankPrepared run hashes
@@ -355,20 +365,34 @@ type Coordinator struct {
 	// load, rank, power rounds) of two runs must not interleave.
 	runMu sync.Mutex
 
-	// prep memoizes the wire payloads (shards, digests, sizes, chain)
-	// derived from the most recent Ranker, so repeated RankPrepared runs
+	// prepMemo memoizes the wire payloads (shards, digests, sizes,
+	// chain) of recently prepared Rankers, so repeated RankPrepared runs
 	// skip rebuilding edge lists and re-hashing SHA-256 digests
-	// entirely. Guarded by runMu. A Ranker captures its graph by
-	// reference and a mutated graph requires a new Ranker, so identity
-	// of the Ranker pointer (plus the protocol shape, which decides
-	// whether chain rows ride in the shards) is a sound memo key.
-	prep *preparedShards
+	// entirely — including a coordinator alternating between several
+	// prepared graphs (one entry per (Ranker, protocol shape), LRU at
+	// the front, bounded by prepMemoCap). Guarded by runMu. A Ranker
+	// captures its graph by reference and a mutated graph requires a new
+	// (or Rebuild-ed) Ranker, so identity of the Ranker pointer — plus
+	// the protocol shape, which decides whether chain rows ride in the
+	// shards — is a sound memo key; RefreshPrepared migrates entries
+	// across a Rebuild so only dirty shards re-hash.
+	prepMemo []*preparedShards
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// preparedShards is the per-Ranker memo behind Coordinator.prep.
+// prepMemoCap bounds the digest memo: enough for a coordinator
+// alternating a handful of prepared graphs (each in at most one protocol
+// shape at a time in practice), small enough that pinned payloads stay
+// negligible next to the worker-side caches.
+const prepMemoCap = 4
+
+// preparedShards is one (Ranker, protocol shape) entry of the memo.
+// After RefreshPrepared migrates an entry across an incremental Rebuild,
+// built marks which sites' payloads are valid: unchanged sites carry
+// over, dirty slots are rebuilt (and re-hashed) by the next run's
+// buildShards.
 type preparedShards struct {
 	rk        *lmm.Ranker
 	wantRows  bool
@@ -377,8 +401,112 @@ type preparedShards struct {
 	shards   []wire.SiteShard
 	refs     []wire.ShardRef
 	sizes    []int
+	built    []bool
 	chain    *wire.SiteChain
 	chainRef wire.Digest
+}
+
+// complete reports whether every site payload (and the chain, when the
+// shape ships one) is valid.
+func (p *preparedShards) complete() bool {
+	for _, b := range p.built {
+		if !b {
+			return false
+		}
+	}
+	return !p.withChain || p.chain != nil
+}
+
+// lookupPrep returns the memo entry for the key, moving it to the LRU
+// front. Caller holds runMu.
+func (c *Coordinator) lookupPrep(rk *lmm.Ranker, wantRows, withChain bool) *preparedShards {
+	for i, p := range c.prepMemo {
+		if p.rk == rk && p.wantRows == wantRows && p.withChain == withChain {
+			copy(c.prepMemo[1:i+1], c.prepMemo[:i])
+			c.prepMemo[0] = p
+			return p
+		}
+	}
+	return nil
+}
+
+// storePrep inserts (or refreshes) a memo entry at the LRU front,
+// evicting the least recently used entry past prepMemoCap. Caller holds
+// runMu.
+func (c *Coordinator) storePrep(p *preparedShards) {
+	for i, q := range c.prepMemo {
+		if q.rk == p.rk && q.wantRows == p.wantRows && q.withChain == p.withChain {
+			copy(c.prepMemo[1:i+1], c.prepMemo[:i])
+			c.prepMemo[0] = p
+			return
+		}
+	}
+	c.prepMemo = append(c.prepMemo, nil)
+	copy(c.prepMemo[1:], c.prepMemo)
+	c.prepMemo[0] = p
+	if len(c.prepMemo) > prepMemoCap {
+		c.prepMemo = c.prepMemo[:prepMemoCap]
+	}
+}
+
+// RefreshPrepared migrates the digest memo across an incremental Ranker
+// rebuild (lmm.Ranker.Rebuild): every memo entry held for prev whose
+// shards do not embed site-chain rows is re-keyed to next with the
+// unchanged sites' payloads and digests carried over, so the next
+// RankPrepared run re-hashes only the changed shards — the
+// coordinator-side half of delta shipping (the worker-side half is the
+// digest cache, which turns every unchanged shard into an Offer hit).
+// Entries for prev in the rows-in-shards shape (unbatched distributed
+// SiteRank) are dropped instead: their shard contents embed site-graph
+// rows, which a mutation elsewhere can change. changed lists the same
+// sites passed to Rebuild; sites appended beyond prev's roster are
+// implicitly changed. Entries for prev are removed either way — the old
+// Ranker is stale by contract.
+func (c *Coordinator) RefreshPrepared(prev, next *lmm.Ranker, changed []graph.SiteID) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	ns := next.NumSites()
+	changedSet := make(map[int]bool, len(changed))
+	for _, s := range changed {
+		changedSet[int(s)] = true
+	}
+	for s := prev.NumSites(); s < ns; s++ {
+		changedSet[s] = true
+	}
+	kept := c.prepMemo[:0]
+	var migrated []*preparedShards
+	for _, p := range c.prepMemo {
+		if p.rk != prev {
+			kept = append(kept, p)
+			continue
+		}
+		if p.wantRows {
+			continue // shard contents depend on the (changed) site graph
+		}
+		m := &preparedShards{
+			rk: next, wantRows: p.wantRows, withChain: p.withChain,
+			shards: make([]wire.SiteShard, ns),
+			refs:   make([]wire.ShardRef, ns),
+			sizes:  make([]int, ns),
+			built:  make([]bool, ns),
+			// chain stays nil: the site graph may have changed, and it
+			// is small — the next run rebuilds and re-hashes it.
+		}
+		for s := 0; s < ns && s < len(p.shards); s++ {
+			if changedSet[s] || !p.built[s] {
+				continue
+			}
+			m.shards[s] = p.shards[s]
+			m.refs[s] = p.refs[s]
+			m.sizes[s] = p.sizes[s]
+			m.built[s] = true
+		}
+		migrated = append(migrated, m)
+	}
+	c.prepMemo = kept
+	for _, m := range migrated {
+		c.storePrep(m)
+	}
 }
 
 // Dial connects to every worker address (with DefaultDialTimeout per

@@ -72,6 +72,13 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// A Ranker whose graph mutated after precomputation would ship stale
+	// shards (and, via the digest memo, stale digests); refuse exactly
+	// like the in-process query paths do. Recover with lmm.Ranker.Rebuild
+	// + RefreshPrepared, or DistEngine.Update, which does both.
+	if rk.Stale() {
+		return nil, fmt.Errorf("coordinator: %w", lmm.ErrGraphMutated)
+	}
 	// Validate damping up front so the distributed SiteRank path rejects
 	// bad values exactly like the central pagerank path does.
 	if f := cfg.damping(); f <= 0 || f >= 1 {
@@ -222,25 +229,39 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 // ships no site-layer data at all.
 //
 // The payloads are memoized on the Coordinator per (Ranker, protocol
-// shape): a warm RankPrepared run reuses every edge list and SHA-256
-// digest instead of recomputing them — Stats.DigestBytesHashed stays at
-// zero — which is sound because a Ranker's graph is immutable by
-// contract (mutating the graph requires a new Ranker).
+// shape), LRU-bounded across several prepared graphs: a warm
+// RankPrepared run reuses every edge list and SHA-256 digest instead of
+// recomputing them — Stats.DigestBytesHashed stays at zero — which is
+// sound because a Ranker's graph is immutable by contract (mutation is
+// detected and refused upstream). An entry migrated across an
+// incremental Rebuild by RefreshPrepared is partial: only its dirty
+// slots (and the small site chain) are rebuilt and re-hashed here, so
+// churn costs digest work proportional to what changed.
 func (r *run) buildShards() {
 	batch := r.cfg.batchRounds()
 	wantRows := r.cfg.DistributedSiteRank && batch <= 1
 	withChain := r.cfg.DistributedSiteRank && batch > 1
-	if p := r.c.prep; p != nil && p.rk == r.rk && p.wantRows == wantRows && p.withChain == withChain {
+	p := r.c.lookupPrep(r.rk, wantRows, withChain)
+	if p != nil && p.complete() {
 		r.shards, r.refs, r.sizes = p.shards, p.refs, p.sizes
 		r.chain, r.chainRef = p.chain, p.chainRef
 		return
 	}
+	if p == nil {
+		p = &preparedShards{
+			rk: r.rk, wantRows: wantRows, withChain: withChain,
+			shards: make([]wire.SiteShard, r.ns),
+			refs:   make([]wire.ShardRef, r.ns),
+			sizes:  make([]int, r.ns),
+			built:  make([]bool, r.ns),
+		}
+	}
 
 	sg := r.rk.SiteGraph()
-	r.shards = make([]wire.SiteShard, r.ns)
-	r.refs = make([]wire.ShardRef, r.ns)
-	r.sizes = make([]int, r.ns)
 	for s := 0; s < r.ns; s++ {
+		if p.built[s] {
+			continue
+		}
 		sub, _ := r.rk.LocalSubgraph(graph.SiteID(s))
 		shard := wire.SiteShard{Site: s, NumDocs: sub.NumNodes()}
 		sub.EachEdgeAll(func(from int, e graph.Edge) {
@@ -254,12 +275,13 @@ func (r *run) buildShards() {
 				})
 			}
 		}
-		r.shards[s] = shard
-		r.refs[s] = wire.ShardRef{Site: s, Digest: shard.ContentDigest()}
-		r.sizes[s] = shard.NumDocs
+		p.shards[s] = shard
+		p.refs[s] = wire.ShardRef{Site: s, Digest: shard.ContentDigest()}
+		p.sizes[s] = shard.NumDocs
+		p.built[s] = true
 		r.stats.DigestBytesHashed += shard.DigestInputBytes()
 	}
-	if withChain {
+	if withChain && p.chain == nil {
 		chain := &wire.SiteChain{NumSites: r.ns, RowPtr: make([]int, r.ns+1)}
 		for s := 0; s < r.ns; s++ {
 			if total := sg.G.OutWeight(s); total > 0 {
@@ -270,16 +292,14 @@ func (r *run) buildShards() {
 			}
 			chain.RowPtr[s+1] = len(chain.Cols)
 		}
-		r.chain = chain
-		r.chainRef = chain.ContentDigest()
+		p.chain = chain
+		p.chainRef = chain.ContentDigest()
 		r.stats.DigestBytesHashed += chain.DigestInputBytes()
 	}
+	r.shards, r.refs, r.sizes = p.shards, p.refs, p.sizes
+	r.chain, r.chainRef = p.chain, p.chainRef
 	if r.memoize {
-		r.c.prep = &preparedShards{
-			rk: r.rk, wantRows: wantRows, withChain: withChain,
-			shards: r.shards, refs: r.refs, sizes: r.sizes,
-			chain: r.chain, chainRef: r.chainRef,
-		}
+		r.c.storePrep(p)
 	}
 }
 
@@ -503,6 +523,8 @@ func (r *run) shipTo(idx int, sites []int) error {
 	r.mu.Lock()
 	r.stats.CacheMisses += len(full) + len(resp.Missing)
 	r.stats.CacheHits += len(cached) - len(resp.Missing)
+	r.stats.ShardsReshipped += len(full) + len(resp.Missing)
+	r.stats.ShardsReused += len(cached) - len(resp.Missing)
 	missing := make(map[int]bool, len(resp.Missing))
 	for _, s := range resp.Missing {
 		missing[s] = true

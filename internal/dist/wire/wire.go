@@ -48,7 +48,11 @@ const (
 	// KindOffer negotiates the worker's digest-keyed shard cache: the
 	// coordinator lists the shards (and optionally the site chain) it is
 	// about to assign, and the worker answers which of them it already
-	// holds, so the following KindLoad ships only the misses.
+	// holds, so the following KindLoad ships only the misses. The same
+	// negotiation is the wire half of delta shipping after graph churn:
+	// a mutation confined to one site changes exactly one shard digest,
+	// so a re-prepared run offers N refs, hits N−1, and re-ships one
+	// shard — no dedicated delta message kind is needed.
 	KindOffer
 	// KindBatchRounds runs up to Request.Rounds damped SiteRank power
 	// rounds locally on the worker against its replicated site chain and

@@ -302,6 +302,14 @@ func TestRunChurn(t *testing.T) {
 	if res.Speedup < 1.5 {
 		t.Errorf("speedup = %.2fx, want ≥ 1.5x", res.Speedup)
 	}
+	// The serving path (incremental Ranker.Rebuild + warm-seeded query)
+	// must track the full recompute too, and beat it on wall time.
+	if res.EngineMaxGap > 1e-7 {
+		t.Errorf("serving max gap = %g", res.EngineMaxGap)
+	}
+	if res.EngineSpeedup < 1.5 {
+		t.Errorf("serving speedup = %.2fx, want ≥ 1.5x", res.EngineSpeedup)
+	}
 	if !strings.Contains(res.Format(), "speedup") {
 		t.Error("Format missing speedup")
 	}

@@ -52,6 +52,44 @@ func TestTransitionMatrixInvalidatedByEnsureNodes(t *testing.T) {
 	}
 }
 
+// TestVersionTracksContentMutations pins the mutation counter's contract:
+// AddEdge and EnsureNodes growth advance it, while Dedupe and
+// TransitionMatrix (storage reorganizations, not content changes) keep it
+// stable — the property lmm.Ranker's stale detection depends on.
+func TestVersionTracksContentMutations(t *testing.T) {
+	g := NewDigraph(3)
+	v0 := g.Version()
+	g.AddLink(0, 1)
+	if g.Version() == v0 {
+		t.Fatal("AddEdge did not advance the version")
+	}
+	g.AddLink(0, 1) // duplicate edge is still a content mutation
+	v1 := g.Version()
+	g.Dedupe()
+	g.TransitionMatrix()
+	g.OutDegree(0)
+	if g.Version() != v1 {
+		t.Error("Dedupe/TransitionMatrix/OutDegree advanced the version")
+	}
+	g.EnsureNodes(2) // no growth
+	if g.Version() != v1 {
+		t.Error("no-growth EnsureNodes advanced the version")
+	}
+	g.EnsureNodes(5)
+	if g.Version() == v1 {
+		t.Error("EnsureNodes growth did not advance the version")
+	}
+	// Clones carry the counter but advance independently.
+	c := g.Clone()
+	if c.Version() != g.Version() {
+		t.Error("clone does not carry the version")
+	}
+	c.AddLink(0, 2)
+	if c.Version() == g.Version() {
+		t.Error("clone mutation did not advance its own version")
+	}
+}
+
 func TestCloneDoesNotShareTransitionCache(t *testing.T) {
 	g := NewDigraph(2)
 	g.AddLink(0, 1)

@@ -33,6 +33,14 @@ type Digraph struct {
 	// trans caches TransitionMatrix; any mutation (AddEdge, EnsureNodes
 	// growth) invalidates it.
 	trans *matrix.CSR
+	// version counts content mutations (AddEdge, EnsureNodes growth).
+	// Consumers that precompute derived structure (lmm.Ranker, the
+	// distributed coordinator's shard digests) record it at build time and
+	// compare later, turning the mutate-after-precompute footgun into a
+	// detectable error instead of silently stale results. Dedupe and
+	// TransitionMatrix do not advance it: they reorganize storage without
+	// changing the graph's content.
+	version uint64
 }
 
 // NewDigraph returns a graph with n isolated nodes.
@@ -56,10 +64,17 @@ func (g *Digraph) NumEdges() int {
 	return n
 }
 
+// Version returns the graph's content-mutation counter: it advances on
+// every AddEdge and on EnsureNodes growth, and is stable across Dedupe
+// and TransitionMatrix calls. Two reads returning the same value bracket
+// a window with no content mutation.
+func (g *Digraph) Version() uint64 { return g.version }
+
 // EnsureNodes grows the graph so that it has at least n nodes.
 func (g *Digraph) EnsureNodes(n int) {
 	if len(g.out) < n {
 		g.trans = nil
+		g.version++
 	}
 	for len(g.out) < n {
 		g.out = append(g.out, nil)
@@ -79,6 +94,7 @@ func (g *Digraph) AddEdge(from, to int, weight float64) {
 	g.out[from] = append(g.out[from], Edge{To: to, Weight: weight})
 	g.deduped = false
 	g.trans = nil
+	g.version++
 }
 
 // AddLink adds a unit-weight edge, the common case for one hyperlink.
@@ -172,6 +188,7 @@ func (g *Digraph) Clone() *Digraph {
 		c.out[i] = append([]Edge(nil), es...)
 	}
 	c.deduped = g.deduped
+	c.version = g.version
 	return c
 }
 

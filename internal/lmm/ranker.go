@@ -1,6 +1,7 @@
 package lmm
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,15 @@ import (
 	"lmmrank/internal/matrix"
 	"lmmrank/internal/pagerank"
 )
+
+// ErrGraphMutated is returned by a Ranker whose DocGraph mutated after
+// the structure was precomputed (detected via graph.Digraph.Version).
+// The precomputed subgraphs, transition matrices and chains no longer
+// describe the graph, so serving would silently return stale rankings;
+// instead the query fails and the caller rebuilds — Rebuild for the
+// incremental path that reuses unchanged sites, NewRanker for a cold
+// rebuild, or Engine.Update at the serving layer. Check with errors.Is.
+var ErrGraphMutated = errors.New("lmm: graph mutated after Ranker construction; Rebuild the Ranker (or Engine.Update) before ranking")
 
 // RankerOptions fixes the graph-derivation choices a Ranker precomputes.
 type RankerOptions struct {
@@ -45,11 +55,18 @@ func (st *rankerSite) getChain() *pagerank.Chain {
 // rankerCore is the shared half of a Ranker: everything derived from the
 // graph alone, none of it query-specific. After Prepare (or the lazy
 // sync.Once builds) the core is immutable, which is what lets any number
-// of Share()d rankers serve queries over it concurrently.
+// of Share()d rankers serve queries over it concurrently. Sites are held
+// by pointer so an incremental Rebuild can share unchanged sites'
+// structure (subgraph, index, lazily built chain) between the old and
+// the new core.
 type rankerCore struct {
 	dg    *graph.DocGraph
+	opts  RankerOptions
 	sg    *graph.SiteGraph
-	sites []rankerSite
+	sites []*rankerSite
+	// version records dg.G.Version() at construction; a mismatch at query
+	// time means the graph mutated under the precomputed structure.
+	version uint64
 
 	siteOnce  sync.Once
 	siteChain *pagerank.Chain
@@ -117,26 +134,35 @@ func NewRanker(dg *graph.DocGraph, opts RankerOptions) (*Ranker, error) {
 	dg.G.Dedupe()
 
 	core := &rankerCore{
-		dg:    dg,
-		sg:    graph.DeriveSiteGraph(dg, opts.SiteGraph),
-		sites: make([]rankerSite, dg.NumSites()),
+		dg:      dg,
+		opts:    opts,
+		sg:      graph.DeriveSiteGraph(dg, opts.SiteGraph),
+		sites:   make([]*rankerSite, dg.NumSites()),
+		version: dg.G.Version(),
 	}
 	// Extraction fans out across sites: the graph was deduplicated
 	// above, so every LocalSubgraph call reads shared state and writes
 	// only its own core.sites slot.
 	ForEachParallel(len(core.sites), 0, func(s int) {
-		sub, idx := dg.LocalSubgraph(graph.SiteID(s))
-		st := &core.sites[s]
-		st.sub, st.idx = sub, idx
-		switch sub.NumNodes() {
-		case 0:
-			st.fixed = matrix.Vector{}
-		case 1:
-			// A single-document site trivially holds all local mass.
-			st.fixed = matrix.Vector{1}
-		}
+		core.sites[s] = extractSite(dg, graph.SiteID(s))
 	})
 	return &Ranker{core: core}, nil
+}
+
+// extractSite builds one site's precomputed structure from the (already
+// deduplicated) graph — the per-site body of NewRanker, shared with the
+// incremental Rebuild.
+func extractSite(dg *graph.DocGraph, s graph.SiteID) *rankerSite {
+	sub, idx := dg.LocalSubgraph(s)
+	st := &rankerSite{sub: sub, idx: idx}
+	switch sub.NumNodes() {
+	case 0:
+		st.fixed = matrix.Vector{}
+	case 1:
+		// A single-document site trivially holds all local mass.
+		st.fixed = matrix.Vector{1}
+	}
+	return st
 }
 
 // Share returns a new Ranker serving the same precomputed structure with
@@ -160,12 +186,19 @@ func (r *Ranker) Prepare() {
 	c := r.core
 	c.getSiteChain()
 	ForEachParallel(len(c.sites), 0, func(s int) {
-		st := &c.sites[s]
+		st := c.sites[s]
 		if st.fixed == nil {
 			st.getChain()
 		}
 	})
 }
+
+// Stale reports whether the DocGraph's digraph mutated after this
+// Ranker's structure was precomputed (its Version advanced). A stale
+// Ranker's subgraphs, chains and shard digests no longer describe the
+// graph; Rank/Rank3/RankSites refuse with ErrGraphMutated. Recover with
+// Rebuild (reusing unchanged sites' structure) or a fresh NewRanker.
+func (r *Ranker) Stale() bool { return r.core.dg.G.Version() != r.core.version }
 
 // DocGraph returns the graph this Ranker serves.
 func (r *Ranker) DocGraph() *graph.DocGraph { return r.core.dg }
@@ -187,14 +220,22 @@ func (r *Ranker) LocalSubgraph(s graph.SiteID) (*graph.Digraph, *graph.LocalInde
 // documents. The returned vector aliases solver scratch (valid until the
 // next RankSites/Rank call); the int is the power-iteration count.
 func (r *Ranker) RankSites(cfg WebConfig) (matrix.Vector, int, error) {
+	if r.Stale() {
+		return nil, 0, ErrGraphMutated
+	}
 	if r.siteSolver == nil {
 		r.siteSolver = r.core.getSiteChain().NewSolver()
+	}
+	var start matrix.Vector
+	if len(cfg.SiteStart) == len(r.core.sites) {
+		start = cfg.SiteStart
 	}
 	res, err := r.siteSolver.Solve(pagerank.Config{
 		Damping:         cfg.Damping,
 		Personalization: cfg.SitePersonalization,
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
+		Start:           start,
 		Ctx:             cfg.Ctx,
 	})
 	if err != nil {
@@ -281,7 +322,7 @@ func (r *Ranker) rankLocals(cfg *WebConfig) error {
 // rankLocal solves one site's local DocRank into the Ranker's reusable
 // buffers (step 3 of §3.2 for one site).
 func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
-	st := &r.core.sites[s]
+	st := r.core.sites[s]
 	if st.fixed != nil {
 		r.localRanks[s] = st.fixed
 		r.localIters[s] = 0
@@ -298,11 +339,16 @@ func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
 	if cfg.DocPersonalization != nil {
 		pers = cfg.DocPersonalization[graph.SiteID(s)]
 	}
+	var start matrix.Vector
+	if s < len(cfg.LocalStarts) && len(cfg.LocalStarts[s]) == st.sub.NumNodes() {
+		start = cfg.LocalStarts[s]
+	}
 	res, err := r.solvers[s].Solve(pagerank.Config{
 		Damping:         cfg.Damping,
 		Personalization: pers,
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
+		Start:           start,
 		Ctx:             cfg.Ctx,
 	})
 	if err != nil {
@@ -326,6 +372,9 @@ func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
 // domain-layer graphs are rebuilt each time — but never mutate shared
 // state, so Share()d rankers may serve them concurrently.
 func (r *Ranker) Rank3(domainOf func(siteName string) string, cfg WebConfig) (*Web3Result, error) {
+	if r.Stale() {
+		return nil, ErrGraphMutated
+	}
 	tl, err := r.ThreeLayerWeights(domainOf, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,270 @@
+package lmm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/matrix"
+)
+
+// mutateSite adds a couple of intra-site links to site s and returns s.
+func mutateSite(t *testing.T, dg *graph.DocGraph, s graph.SiteID) {
+	t.Helper()
+	docs := dg.Sites[s].Docs
+	if len(docs) < 3 {
+		t.Skipf("site %d too small in this seed", s)
+	}
+	dg.G.AddLink(int(docs[0]), int(docs[2]))
+	dg.G.AddLink(int(docs[2]), int(docs[1]))
+}
+
+// TestRankerStaleAfterMutation pins the mutate-after-precompute footgun:
+// a graph mutation not routed through Rebuild turns every query path of
+// the old Ranker into a documented ErrGraphMutated instead of a silently
+// stale ranking.
+func TestRankerStaleAfterMutation(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(91)), 6, 60)
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	if _, err := rk.Rank(WebConfig{}); err != nil {
+		t.Fatalf("pre-mutation Rank: %v", err)
+	}
+	if rk.Stale() {
+		t.Fatal("fresh Ranker reports stale")
+	}
+	mutateSite(t, dg, 1)
+	if !rk.Stale() {
+		t.Fatal("mutated graph not detected as stale")
+	}
+	if _, err := rk.Rank(WebConfig{}); !errors.Is(err, ErrGraphMutated) {
+		t.Errorf("Rank after mutation: err = %v, want ErrGraphMutated", err)
+	}
+	if _, _, err := rk.RankSites(WebConfig{}); !errors.Is(err, ErrGraphMutated) {
+		t.Errorf("RankSites after mutation: err = %v, want ErrGraphMutated", err)
+	}
+	if _, err := rk.Rank3(nil, WebConfig{}); !errors.Is(err, ErrGraphMutated) {
+		t.Errorf("Rank3 after mutation: err = %v, want ErrGraphMutated", err)
+	}
+	// A Share()d sibling sees the same core, hence the same verdict.
+	if _, err := rk.Share().Rank(WebConfig{}); !errors.Is(err, ErrGraphMutated) {
+		t.Errorf("shared Ranker after mutation: err = %v, want ErrGraphMutated", err)
+	}
+}
+
+// TestRebuildMatchesColdRanker is the correctness pin of the structural
+// churn path: after a site-local mutation, a Rebuild([changed]) Ranker
+// must agree with a from-scratch NewRanker to well under 1e-9.
+func TestRebuildMatchesColdRanker(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(92)), 8, 80)
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	if _, err := rk.Rank(WebConfig{Tol: 1e-12}); err != nil {
+		t.Fatalf("initial Rank: %v", err)
+	}
+	mutateSite(t, dg, 3)
+
+	warm, err := rk.Rebuild([]graph.SiteID{3})
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	cold, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("cold NewRanker: %v", err)
+	}
+	wres, err := warm.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("warm Rank: %v", err)
+	}
+	cres, err := cold.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if d := wres.DocRank.L1Diff(cres.DocRank); d >= 1e-12 {
+		t.Errorf("‖rebuild − cold‖₁ = %g, want < 1e-12 (identical structure, identical arithmetic)", d)
+	}
+	if d := wres.SiteRank.L1Diff(cres.SiteRank); d >= 1e-12 {
+		t.Errorf("‖rebuild − cold‖₁ on SiteRank = %g", d)
+	}
+}
+
+// TestRebuildReusesCleanSiteStructure asserts the reuse that makes
+// Rebuild cheap: unchanged sites share their extracted subgraph (by
+// pointer) with the old core; the dirty site gets a fresh one.
+func TestRebuildReusesCleanSiteStructure(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(93)), 8, 80)
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	rk.Prepare()
+	mutateSite(t, dg, 2)
+	warm, err := rk.Rebuild([]graph.SiteID{2})
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	for s := 0; s < rk.NumSites(); s++ {
+		oldSub, _ := rk.LocalSubgraph(graph.SiteID(s))
+		newSub, _ := warm.LocalSubgraph(graph.SiteID(s))
+		if s == 2 {
+			if oldSub == newSub {
+				t.Errorf("changed site %d shares its old subgraph", s)
+			}
+			continue
+		}
+		if oldSub != newSub {
+			t.Errorf("clean site %d was re-extracted", s)
+		}
+	}
+	if warm.Stale() {
+		t.Error("rebuilt Ranker reports stale")
+	}
+	if rk.Stale() != true {
+		t.Error("old Ranker should stay stale after Rebuild")
+	}
+}
+
+// TestRebuildStaleDetection covers the refusal paths: a grown roster not
+// listed as changed, removed sites, and out-of-range changed IDs.
+func TestRebuildStaleDetection(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(94)), 6, 60)
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	if _, err := rk.Rebuild([]graph.SiteID{99}); err == nil {
+		t.Error("out-of-range changed site accepted")
+	}
+
+	// Rebuild the DocGraph with one extra document in site 1; because the
+	// Ranker captures the graph by reference, swap the new content into
+	// the same struct the Ranker holds. Not listing site 1 must fail.
+	grown := rebuildWithExtraDoc(dg, 1)
+	*dg = *grown
+	if _, err := rk.Rebuild(nil); !errors.Is(err, ErrStaleResult) {
+		t.Fatalf("grown unlisted roster: err = %v, want ErrStaleResult", err)
+	}
+	warm, err := rk.Rebuild([]graph.SiteID{1})
+	if err != nil {
+		t.Fatalf("Rebuild with grown site listed: %v", err)
+	}
+	wres, err := warm.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("warm Rank: %v", err)
+	}
+	full, err := LayeredDocRank(dg, WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	if d := wres.DocRank.L1Diff(full.DocRank); d >= 1e-12 {
+		t.Errorf("‖rebuild − full‖₁ after growth = %g", d)
+	}
+}
+
+// TestRebuildHandlesNewSite: appended sites are implicitly changed.
+func TestRebuildHandlesNewSite(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(95)), 6, 60)
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	joined := rebuildWithNewSite(dg)
+	*dg = *joined
+	warm, err := rk.Rebuild(nil)
+	if err != nil {
+		t.Fatalf("Rebuild after join: %v", err)
+	}
+	if warm.NumSites() != dg.NumSites() {
+		t.Fatalf("rebuilt ranker has %d sites, graph %d", warm.NumSites(), dg.NumSites())
+	}
+	wres, err := warm.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("warm Rank: %v", err)
+	}
+	full, err := LayeredDocRank(dg, WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	if d := wres.DocRank.L1Diff(full.DocRank); d >= 1e-12 {
+		t.Errorf("‖rebuild − full‖₁ after join = %g", d)
+	}
+}
+
+// TestWarmStartSeedsCutIterations pins the convergence half of the churn
+// path: seeding the site layer and the locals with the previous solution
+// must reduce power-method work on a lightly mutated graph, and
+// wrong-shape seeds must be ignored, not fatal.
+func TestWarmStartSeedsCutIterations(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(96)), 8, 80)
+	cfg := WebConfig{Tol: 1e-11}
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	prev, err := rk.Rank(cfg)
+	if err != nil {
+		t.Fatalf("initial Rank: %v", err)
+	}
+	// Snapshot the previous solution (Rank results alias scratch).
+	seedSite := prev.SiteRank.Clone()
+	seedLocals := make([]matrix.Vector, len(prev.LocalRanks))
+	coldLocalIters := 0
+	for s, lr := range prev.LocalRanks {
+		seedLocals[s] = lr.Clone()
+		coldLocalIters += prev.LocalIterations[s]
+	}
+	coldSiteIters := prev.SiteIterations
+
+	mutateSite(t, dg, 4)
+	warm, err := rk.Rebuild([]graph.SiteID{4})
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	seeded := cfg
+	seeded.SiteStart = seedSite
+	seeded.LocalStarts = seedLocals
+	wres, err := warm.Rank(seeded)
+	if err != nil {
+		t.Fatalf("seeded Rank: %v", err)
+	}
+	warmLocalIters := 0
+	for _, it := range wres.LocalIterations {
+		warmLocalIters += it
+	}
+	if wres.SiteIterations >= coldSiteIters {
+		t.Errorf("seeded SiteRank took %d iterations, cold %d", wres.SiteIterations, coldSiteIters)
+	}
+	if warmLocalIters >= coldLocalIters {
+		t.Errorf("seeded locals took %d iterations total, cold %d", warmLocalIters, coldLocalIters)
+	}
+
+	// The seeded solution still agrees with a cold rebuild.
+	cold, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("cold NewRanker: %v", err)
+	}
+	cres, err := cold.Rank(cfg)
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if d := wres.DocRank.L1Diff(cres.DocRank); d >= 1e-9 {
+		t.Errorf("‖seeded − cold‖₁ = %g, want < 1e-9", d)
+	}
+
+	// Wrong-shape seeds are hints, not inputs: ignored without error.
+	bad := cfg
+	bad.SiteStart = matrix.Vector{1}
+	bad.LocalStarts = []matrix.Vector{{0.5, 0.5}}
+	bres, err := warm.Share().Rank(bad)
+	if err != nil {
+		t.Fatalf("bad-shape seeds errored: %v", err)
+	}
+	if d := bres.DocRank.L1Diff(cres.DocRank); d >= 1e-9 {
+		t.Errorf("bad-shape seeds shifted the ranking by %g", d)
+	}
+}

@@ -77,12 +77,18 @@ func UpdateLayeredDocRank(dg *graph.DocGraph, prev *WebResult, changed []graph.S
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
 		Start:           start.Normalize(),
+		Ctx:             cfg.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lmm: update: siterank: %w", err)
 	}
 
-	// Local ranks: recompute only the changed sites.
+	// Local ranks: recompute only the changed sites, each warm-started
+	// from its previous vector when the roster shape survived (an
+	// edge-only change keeps the old local rank an excellent seed; a
+	// grown site fails the shape check inside localDocRank and starts
+	// cold).
+	cfg.LocalStarts = prev.LocalRanks
 	out := &WebResult{
 		SiteRank:        siteRes.Scores,
 		LocalRanks:      make([]matrix.Vector, dg.NumSites()),

@@ -36,6 +36,18 @@ type WebConfig struct {
 	// computations (0 = GOMAXPROCS). Step 3 of §3.2 "can be completely
 	// decentralized"; within one process that means data-parallel.
 	Parallelism int
+	// SiteStart and LocalStarts optionally seed the power iterations with
+	// a previous solution — the warm-start half of the churn path: after
+	// a small graph change, the old SiteRank and the unchanged sites'
+	// local DocRanks are excellent initial iterates, cutting iterations
+	// roughly in proportion to how little moved. Both are read-only
+	// (copied into solver scratch, never mutated) and validated by shape:
+	// a SiteStart whose length differs from the site count, or a
+	// LocalStarts[s] whose length differs from site s's document count,
+	// is silently ignored (cold uniform start) rather than erroring —
+	// seeds are hints, not inputs.
+	SiteStart   matrix.Vector
+	LocalStarts []matrix.Vector
 	// Ctx, when non-nil, cancels the pipeline cooperatively: every power
 	// iteration (site layer and each local DocRank) checks it and a
 	// cancelled or expired context aborts mid-run with the context's
@@ -229,11 +241,16 @@ func localDocRank(dg *graph.DocGraph, s graph.SiteID, cfg WebConfig) (matrix.Vec
 	if cfg.DocPersonalization != nil {
 		pers = cfg.DocPersonalization[s]
 	}
+	var start matrix.Vector
+	if int(s) < len(cfg.LocalStarts) && len(cfg.LocalStarts[s]) == n {
+		start = cfg.LocalStarts[s]
+	}
 	res, err := pagerank.Graph(sub, pagerank.Config{
 		Damping:         cfg.Damping,
 		Personalization: pers,
 		Tol:             cfg.Tol,
 		MaxIter:         cfg.MaxIter,
+		Start:           start,
 		Ctx:             cfg.Ctx,
 	})
 	if err != nil {

@@ -339,6 +339,13 @@ func UpdateLayeredDocRank(dg *DocGraph, prev *WebResult, changed []SiteID, cfg W
 // ErrStaleResult marks incremental updates that need a full recompute.
 var ErrStaleResult = lmm.ErrStaleResult
 
+// ErrGraphMutated marks queries against an engine or Ranker whose
+// DocGraph was mutated without going through Engine.Update (or
+// Ranker.Rebuild): the precomputed structure is stale, and the query is
+// refused instead of silently serving a stale ranking. Check with
+// errors.Is; recover with Engine.Update or by rebuilding.
+var ErrGraphMutated = lmm.ErrGraphMutated
+
 // DocScore pairs a document with its score for top-k reporting.
 type DocScore struct {
 	Doc   DocID
