@@ -336,6 +336,62 @@ func BenchmarkE9ChurnUpdate(b *testing.B) {
 	})
 }
 
+// / BenchmarkE10UpdateUnderLoad measures what snapshot serving buys: the
+// per-query cost of Rank while a background churner runs Apply-path
+// Updates back to back. Under the old drain-and-swap engine every
+// Update stalled all queries for its full rebuild + refresh solve (and
+// waited for them in turn); with copy-on-write snapshots queries never
+// wait, so the number here stays in the neighborhood of an un-churned
+// Rank instead of absorbing the update latency cliff.
+func BenchmarkE10UpdateUnderLoad(b *testing.B) {
+	ctx := context.Background()
+	web := churnBenchWeb(2027)
+	eng, err := NewLocalEngine(web.Graph, EngineOptions{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Rank(ctx, Query{Tol: 1e-9}); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := i
+			err := eng.Update(ctx, GraphDelta{
+				ChangedSites: []SiteID{SiteID(i % 80)},
+				Apply: func(dg *DocGraph) error {
+					churnEdit(dg, i)
+					return nil
+				},
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Rank(ctx, Query{Tol: 1e-9}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkBaselines times the comparison algorithms on the same web:
 // BlockRank (the closest prior work) and HITS (the other baseline the
 // paper reviews).

@@ -73,15 +73,26 @@
 // the graph carries a mutation version, and a query against stale
 // structure fails with ErrGraphMutated instead of silently serving
 // stale rankings. The supported way to change a served graph is
-// Engine.Update(ctx, GraphDelta) — graph churn as a serving operation:
+// Engine.Update(ctx, GraphDelta) — graph churn as a serving operation,
+// implemented as multi-version snapshot serving:
 //
-//   - Ownership during Update: put the mutation in GraphDelta.Apply and
-//     the engine runs it under its update lock, after in-flight queries
-//     drain — the race-free path. A nil Apply means the caller already
-//     mutated the graph, which is only safe with no queries in flight.
-//     Update blocks until running queries finish, then swaps the
-//     serving structure atomically; concurrent Rank calls are safe
-//     throughout and never observe a half-updated engine.
+//   - Snapshot semantics: an engine's whole serving state — graph,
+//     precomputed cores, warm seeds — lives behind one atomic pointer
+//     to an immutable snapshot. Update applies GraphDelta.Apply to a
+//     copy-on-write clone of the graph (clean sites share their
+//     adjacency with the old graph by pointer), rebuilds off to the
+//     side and publishes with a single store. Queries never wait for an
+//     Update and an Update never waits for queries: a Rank in flight
+//     across the swap completes on the snapshot it started on,
+//     bit-identical to an uncontended run, and the next Rank sees the
+//     new graph. A failed Apply-path Update discards the clone — a
+//     no-op, the engine is exactly as before. Because the served graph
+//     evolves through clones, re-fetch it with DocGraph() after
+//     updating rather than caching the construction-time pointer.
+//   - A nil Apply means the caller already mutated the serving graph in
+//     place, which is only safe with no queries in flight; on that path
+//     a failed Update records the delta's sites so a later Update
+//     rebuilds them too.
 //   - ChangedSites is the caller's contract: it must list every site
 //     whose pages or links changed (appended sites are implicit). Only
 //     those sites' structure is rebuilt — locally their subgraphs,
@@ -90,12 +101,18 @@
 //     distributedly their shards (clean shards stay in the worker
 //     caches and are never re-shipped — Result.Dist.ShardsReused /
 //     ShardsReshipped account for it).
-//   - After a failed Update (or an out-of-band mutation), queries keep
-//     failing with ErrGraphMutated until a successful Update or a fresh
-//     engine — recovery is always explicit.
+//   - After an out-of-band mutation (or a failed nil-Apply Update),
+//     queries keep failing with ErrGraphMutated until a successful
+//     Update or a fresh engine — recovery is always explicit.
 //
-// The expert-path equivalents are lmm-level: Ranker.Rebuild(changed)
-// for the structural half and WebConfig.SiteStart/LocalStarts for the
-// warm seeds; UpdateLayeredDocRank remains the one-shot functional
-// refresh.
+// Serving admission: EngineOptions.MaxInFlight caps concurrent queries
+// (queueing under ctx, or failing fast with ErrOverloaded when
+// RejectOverload is set), and Coalesce folds concurrent identical
+// queries into one computation, each caller receiving its own copy.
+// DistConfig carries the same knobs for DistEngine.
+//
+// The expert-path equivalents are lmm-level: Ranker.Rebuild(changed) /
+// Ranker.RebuildOn(clone, changed) for the structural half and
+// WebConfig.SiteStart/LocalStarts for the warm seeds;
+// UpdateLayeredDocRank remains the one-shot functional refresh.
 package lmmrank

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lmmrank/internal/dist/coordinator"
 	"lmmrank/internal/lmm"
@@ -39,7 +40,8 @@ type Query struct {
 	// DomainOf groups sites into domains (nil = the registrable-domain
 	// default). The Result gains Domains, DomainRank, DomainOfSite and
 	// SiteEntry, and its SiteRank holds the per-site composition
-	// weights DomainRank·SiteEntry.
+	// weights DomainRank·SiteEntry. A query with a non-nil DomainOf is
+	// never coalesced (function identity is not fingerprintable).
 	ThreeLayer bool
 	DomainOf   func(siteName string) string
 	// TopK, when positive, fills Result.Top with the k best documents
@@ -97,11 +99,20 @@ type Result struct {
 // listed sites' subgraphs, transition matrices and solvers are rebuilt
 // (and, distributedly, re-shipped), everything else is reused.
 //
-// Apply, when non-nil, performs the mutation under the engine's update
-// lock, after in-flight queries drain and before the rebuild — the
-// race-free way to mutate a served graph. With a nil Apply the caller
-// has already mutated the graph; that is only safe when no query was in
-// flight during the mutation (the engine reads the graph while serving).
+// Apply, when non-nil, receives a copy-on-write working clone of the
+// served graph — not the serving snapshot itself. The engine applies
+// the mutation to the clone, rebuilds off to the side and publishes the
+// result atomically, so in-flight queries keep reading the old,
+// untouched graph; if Apply (or the rebuild) fails, the clone is
+// discarded and the engine is exactly as before — a failed Update is a
+// no-op. Mutate only the *dg passed in; a captured outer pointer still
+// names the old serving graph. After a successful Apply-path Update,
+// re-fetch the serving graph with DocGraph().
+//
+// With a nil Apply the caller has already mutated the serving graph in
+// place; that is only safe when no query was in flight during the
+// mutation (queries read the graph while serving), and the engine keeps
+// serving that same (now rebuilt-in-place) graph.
 type GraphDelta struct {
 	ChangedSites []SiteID
 	Apply        func(dg *DocGraph) error
@@ -112,18 +123,21 @@ type GraphDelta struct {
 // one Query; implementations are safe for concurrent use, results are
 // caller-owned, and a cancelled or expired context aborts the query
 // mid-computation — between power iterations locally, between wire
-// exchanges (or by interrupting a blocked one) distributedly — returning
-// ctx.Err().
+// exchanges (or by interrupting a blocked one) distributedly —
+// returning ctx.Err().
 //
 // Update makes graph churn a first-class serving operation: it applies
-// a GraphDelta, rebuilds only the changed sites' precomputed structure,
-// and warm-starts whatever the backend can (local power iterations seed
-// from the previous solution; distributed runs re-ship only the changed
-// shards). Update blocks until in-flight Rank calls drain, then swaps
-// the serving structure atomically — concurrent Ranks are safe
-// throughout and never observe a half-updated engine. Mutating the
-// graph *without* Update leaves the engine stale: queries fail with
-// ErrGraphMutated (wrapped) instead of silently serving stale rankings.
+// a GraphDelta to a copy-on-write clone of the graph, rebuilds only the
+// changed sites' precomputed structure, warm-starts whatever the
+// backend can (local power iterations seed from the previous solution;
+// distributed runs re-ship only the changed shards), and publishes the
+// result as a new immutable snapshot with one atomic pointer store.
+// Rank never waits for Update and Update never waits for Rank:
+// in-flight queries — however slow — complete on the snapshot they
+// started on, bit-identical to an uncontended run, and the first Rank
+// after Update sees the new graph. Mutating the graph *without* Update
+// leaves the engine stale: queries fail with ErrGraphMutated (wrapped)
+// instead of silently serving stale rankings.
 type Engine interface {
 	Rank(ctx context.Context, q Query) (*Result, error)
 	Update(ctx context.Context, delta GraphDelta) error
@@ -134,8 +148,8 @@ type Engine interface {
 // errors.Is.
 var ErrUnsupportedQuery = errors.New("lmmrank: unsupported query")
 
-// EngineOptions fixes the graph-derivation and execution choices an
-// engine precomputes.
+// EngineOptions fixes the graph-derivation, execution and admission
+// choices an engine precomputes.
 type EngineOptions struct {
 	// SiteGraph controls SiteLink aggregation (§3.1), baked into the
 	// precomputed structure.
@@ -145,6 +159,17 @@ type EngineOptions struct {
 	// the cores are already busy answering distinct queries — while a
 	// single caller wants the default.
 	Parallelism int
+	// MaxInFlight caps concurrently admitted Rank calls (0 = no cap).
+	// Excess calls queue for a slot, honoring ctx cancellation — unless
+	// RejectOverload is set, in which case they fail fast with
+	// ErrOverloaded for the caller to shed or retry elsewhere.
+	MaxInFlight    int
+	RejectOverload bool
+	// Coalesce merges concurrent identical queries: when several Rank
+	// calls with the same fingerprint overlap, one computes and the
+	// rest wait for it, each receiving its own caller-owned copy.
+	// Queries with a custom DomainOf are never coalesced.
+	Coalesce bool
 }
 
 // validate rejects query-shape combinations no backend serves, keeping
@@ -169,46 +194,73 @@ func (q Query) webConfig(ctx context.Context, parallelism int) lmm.WebConfig {
 	}
 }
 
-// LocalEngine serves queries from one process: an lmm.Ranker core
-// (SiteGraph, subgraphs, CSR matrices, dangling lists) precomputed once
-// at construction, fronted by a sync.Pool of scratch-private Rankers.
-// Concurrent goroutines therefore serve in parallel — each Rank borrows
-// a pooled Ranker, runs the query phase against the shared immutable
-// core, copies the result out and returns the scratch — and throughput
-// scales with GOMAXPROCS while a single caller pays about the same
-// latency as a bare Ranker (queries hold only a shared read-lock, whose
-// exclusive side Update takes to swap the core).
-//
-// Update is the churn path: only changed sites' structure is rebuilt
-// (clean sites keep their subgraphs and chains by pointer), a refresh
-// solve warm-started from the previous solution becomes the seed of
-// every later query, and the new core replaces the old one atomically
-// once in-flight queries drain.
-type LocalEngine struct {
-	parallelism int
-
-	// mu orders queries (read side) against Update's core swap (write
-	// side). dg's pointer is fixed; its contents mutate only inside
-	// Update, under the write lock.
-	mu         sync.RWMutex
+// engineSnapshot is one immutable serving state of a LocalEngine: a
+// graph, the Ranker built for exactly that graph, the pooled
+// scratch-private clones, the warm-start seeds solved on that graph,
+// and the in-flight table coalescing identical queries against it.
+// Everything a query touches lives here, so a query that loaded a
+// snapshot is completely insulated from any later Update.
+type engineSnapshot struct {
 	dg         *DocGraph
 	base       *lmm.Ranker
 	pool       *sync.Pool
 	seedSite   Vector
 	seedLocals []Vector
-	// dirty accumulates changed sites across failed Updates: if Apply
-	// mutated the graph but the rebuild or refresh solve then failed,
-	// the sites stay recorded and the next (successful) Update rebuilds
-	// them too — otherwise a later Update listing only its own sites
-	// would bless the earlier edit's stale subgraphs into the new core.
-	dirty map[SiteID]bool
+	flights    *flightGroup
+}
+
+func newEngineSnapshot(dg *DocGraph, rk *lmm.Ranker, seedSite Vector, seedLocals []Vector) *engineSnapshot {
+	return &engineSnapshot{
+		dg:         dg,
+		base:       rk,
+		pool:       newRankerPool(rk),
+		seedSite:   seedSite,
+		seedLocals: seedLocals,
+		flights:    newFlightGroup(),
+	}
+}
+
+// LocalEngine serves queries from one process: an lmm.Ranker core
+// (SiteGraph, subgraphs, CSR matrices, dangling lists) precomputed once
+// at construction, fronted by a sync.Pool of scratch-private Rankers.
+// Concurrent goroutines serve in parallel — each Rank loads the current
+// snapshot, borrows a pooled Ranker, runs the query phase against the
+// shared immutable core, copies the result out and returns the scratch.
+//
+// Serving is lock-free multi-version: the whole serving state lives in
+// one atomic pointer to an immutable snapshot. Update builds the next
+// snapshot off to the side — the GraphDelta applies to a copy-on-write
+// clone that shares every clean site's adjacency with the old graph by
+// pointer — and publishes it with a single store. Queries never block
+// an Update and an Update never blocks a query: a straggler that
+// started before the swap finishes on its old snapshot, bit-identical
+// to an uncontended run. MaxInFlight/RejectOverload add an admission
+// cap in front and Coalesce folds concurrent identical queries into one
+// computation (see EngineOptions).
+type LocalEngine struct {
+	parallelism int
+	admit       *admitGate
+	coalesce    bool
+
+	// snap is the serving state; Rank loads it once and never looks
+	// back. Only Update stores it.
+	snap atomic.Pointer[engineSnapshot]
+
+	// updateMu serializes Updates against each other (queries don't
+	// take it). dirty accumulates changed sites across failed Updates:
+	// on the nil-Apply path the graph mutates before the rebuild can
+	// fail, so the sites stay recorded and the next successful Update
+	// rebuilds them too — otherwise a later Update listing only its own
+	// sites would bless the earlier edit's stale subgraphs.
+	updateMu sync.Mutex
+	dirty    map[SiteID]bool
 }
 
 var _ Engine = (*LocalEngine)(nil)
 
 // newRankerPool wraps a prepared Ranker in a pool of scratch-private
-// Share() clones — the unit Update swaps wholesale so stale scratch can
-// never serve a rebuilt core.
+// Share() clones — the pool lives inside one snapshot, so stale scratch
+// can never serve a rebuilt core.
 func newRankerPool(base *lmm.Ranker) *sync.Pool {
 	return &sync.Pool{New: func() any { return base.Share() }}
 }
@@ -218,67 +270,91 @@ func newRankerPool(base *lmm.Ranker) *sync.Pool {
 // and PageRank chains, built eagerly (in parallel) so that queries only
 // ever read shared state. The graph is captured by reference; mutate it
 // only through Update (or build a new engine) — a mutation outside
-// Update turns every later query into ErrGraphMutated.
+// Update turns every later query into ErrGraphMutated. After an
+// Apply-path Update the engine serves an evolved copy of the graph;
+// read it back with DocGraph().
 func NewLocalEngine(dg *DocGraph, opts EngineOptions) (*LocalEngine, error) {
 	rk, err := lmm.NewRanker(dg, lmm.RankerOptions{SiteGraph: opts.SiteGraph})
 	if err != nil {
 		return nil, err
 	}
 	rk.Prepare()
-	return &LocalEngine{
-		dg:          dg,
-		base:        rk,
+	e := &LocalEngine{
 		parallelism: opts.Parallelism,
-		pool:        newRankerPool(rk),
+		admit:       newAdmitGate(opts.MaxInFlight, opts.RejectOverload),
+		coalesce:    opts.Coalesce,
 		dirty:       make(map[SiteID]bool),
-	}, nil
+	}
+	e.snap.Store(newEngineSnapshot(dg, rk, nil, nil))
+	return e, nil
 }
 
-// mergeDirty folds delta.ChangedSites into the engine's pending-dirty
-// set and returns the union as a slice — the changed list a rebuild
-// must honor so sites from earlier failed Updates are not forgotten.
-func mergeDirty(dirty map[SiteID]bool, changed []SiteID) []SiteID {
-	for _, s := range changed {
-		dirty[s] = true
-	}
-	out := make([]SiteID, 0, len(dirty))
+// unionSites returns dirty ∪ changed as a slice without mutating dirty —
+// the changed list a rebuild must honor so sites from earlier failed
+// Updates are not forgotten, computed non-destructively so a rebuild
+// that then fails leaves the pending set exactly as it was.
+func unionSites(dirty map[SiteID]bool, changed []SiteID) []SiteID {
+	out := make([]SiteID, 0, len(dirty)+len(changed))
 	for s := range dirty {
 		out = append(out, s)
+	}
+	for _, s := range changed {
+		if !dirty[s] {
+			out = append(out, s)
+		}
 	}
 	return out
 }
 
-// Update applies one batch of graph churn and swaps in a warm serving
-// core: delta.Apply (if any) runs once in-flight queries drain, only the
-// changed sites' subgraphs/matrices/solvers are rebuilt, and a refresh
-// solve — itself warm-started from the previous update's solution —
-// becomes the seed every subsequent query's power iterations start from.
-// Rankings served after Update agree with a cold rebuild to solver
-// tolerance (pinned < 1e-9 in the tests) while doing measurably less
-// iteration and allocation work.
+// Update applies one batch of graph churn and publishes a warm serving
+// snapshot: delta.Apply (if any) runs against a copy-on-write clone of
+// the served graph, only the changed sites' subgraphs/matrices/solvers
+// are rebuilt, and a refresh solve — itself warm-started from the
+// previous update's solution — becomes the seed every subsequent
+// query's power iterations start from. Rankings served after Update
+// agree with a cold rebuild to solver tolerance (pinned < 1e-9 in the
+// tests) while doing measurably less iteration and allocation work.
+// In-flight queries are never drained: they complete on the snapshot
+// they started on while the rebuild proceeds beside them.
 //
-// On error the engine keeps its previous core. If the graph content was
-// already changed by then (Apply succeeded but the rebuild or refresh
-// solve failed, or the caller mutated without Apply), queries fail with
-// ErrGraphMutated until a successful Update — stale structure is never
-// served silently.
+// On the Apply path an error leaves the engine exactly as before — the
+// clone is discarded, nothing was mutated, a failed Update is a no-op.
+// On the nil-Apply path the caller mutated the serving graph before
+// calling, so a failure leaves queries failing with ErrGraphMutated
+// until a successful Update; the delta's sites stay recorded either
+// way on that path, so a later Update rebuilds them too.
 func (e *LocalEngine) Update(ctx context.Context, delta GraphDelta) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	cur := e.snap.Load()
+	if delta.Apply == nil {
+		// The serving graph is already mutated: record the sites before
+		// anything fallible (even the ctx check) can return.
+		for _, s := range delta.ChangedSites {
+			e.dirty[s] = true
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return e.rebuildAndPublish(ctx, cur, cur.dg, unionSites(e.dirty, nil))
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	// Record the delta's sites before doing anything fallible: if Apply
-	// (or the rebuild, or the refresh solve) fails after the graph
-	// changed, they stay pending and the next successful Update rebuilds
-	// them too.
-	changed := mergeDirty(e.dirty, delta.ChangedSites)
-	if delta.Apply != nil {
-		if err := delta.Apply(e.dg); err != nil {
-			return fmt.Errorf("lmmrank: update apply: %w", err)
-		}
+	work := cur.dg.CloneCOW()
+	if err := delta.Apply(work); err != nil {
+		// The clone dies here; the serving graph never changed and the
+		// delta's sites are not recorded — nothing needs rebuilding.
+		return fmt.Errorf("lmmrank: update apply: %w", err)
 	}
-	next, err := e.base.Rebuild(changed)
+	return e.rebuildAndPublish(ctx, cur, work, unionSites(e.dirty, delta.ChangedSites))
+}
+
+// rebuildAndPublish builds the next snapshot over dg (the old graph on
+// the nil-Apply path, a mutated COW clone otherwise) and publishes it.
+// The pending-dirty set clears only on success.
+func (e *LocalEngine) rebuildAndPublish(ctx context.Context, cur *engineSnapshot, dg *DocGraph, changed []SiteID) error {
+	next, err := cur.base.RebuildOn(dg, changed)
 	if err != nil {
 		return err
 	}
@@ -286,26 +362,26 @@ func (e *LocalEngine) Update(ctx context.Context, delta GraphDelta) error {
 	// The refresh solve: default query parameters, warm-started from the
 	// previous seeds where the shapes survived (changed sites whose
 	// roster grew start cold automatically — seeds are shape-checked
-	// hints). Its solution is cloned into the new seed snapshot.
+	// hints). Its solution is cloned into the new snapshot's seeds.
 	wr, err := next.Share().Rank(lmm.WebConfig{
 		Parallelism: e.parallelism,
-		SiteStart:   e.seedSite,
-		LocalStarts: e.seedLocals,
+		SiteStart:   cur.seedSite,
+		LocalStarts: cur.seedLocals,
 		Ctx:         ctx,
 	})
 	if err != nil {
 		return normalizeCtxErr(ctx, err)
 	}
-	e.seedSite = wr.SiteRank.Clone()
-	e.seedLocals = cloneVectors(wr.LocalRanks)
-	e.base = next
-	e.pool = newRankerPool(next)
+	e.snap.Store(newEngineSnapshot(dg, next, wr.SiteRank.Clone(), cloneVectors(wr.LocalRanks)))
 	clear(e.dirty)
 	return nil
 }
 
 // Rank answers one query. Safe for concurrent use; the result is
 // caller-owned; a cancelled ctx aborts mid-iteration with ctx.Err().
+// With MaxInFlight set the call first takes an admission slot (queueing
+// or failing with ErrOverloaded per RejectOverload); with Coalesce set
+// it may share one computation with concurrent identical queries.
 func (e *LocalEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -313,20 +389,40 @@ func (e *LocalEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	// The read lock spans the whole query: Update cannot swap the core —
-	// or mutate the graph — under a running Rank, and queries proceed
-	// concurrently against the same core.
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	pool := e.pool
-	rk := pool.Get().(*lmm.Ranker)
-	defer pool.Put(rk)
+	if err := e.admit.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.admit.release()
+	// One load pins the whole serving state: graph, core, pool, seeds.
+	// An Update publishing mid-query swaps the pointer for *later*
+	// queries; this one finishes on the snapshot it started on.
+	snap := e.snap.Load()
+	if e.coalesce {
+		if key, ok := q.fingerprint(); ok {
+			return snap.flights.do(ctx, key, func() (*Result, error) {
+				return e.rankSnap(ctx, snap, q)
+			})
+		}
+	}
+	return e.rankSnap(ctx, snap, q)
+}
+
+// rankSnap runs one query against a pinned snapshot.
+func (e *LocalEngine) rankSnap(ctx context.Context, snap *engineSnapshot, q Query) (*Result, error) {
+	rk := snap.pool.Get().(*lmm.Ranker)
+	defer snap.pool.Put(rk)
 	cfg := q.webConfig(ctx, e.parallelism)
 	// Post-churn queries start their power iterations from the last
 	// update's solution instead of uniform (nil seeds before the first
-	// Update mean a cold start, exactly the old behavior).
-	cfg.SiteStart = e.seedSite
-	cfg.LocalStarts = e.seedLocals
+	// Update mean a cold start). The site seed is a two-layer πS and
+	// stays out of three-layer queries: their upper stack ranks domains
+	// and entry nodes, where a same-length site vector would be a
+	// wrong-distribution seed, not a warm start. The local seeds apply
+	// to both models — the document layer is identical in both.
+	if !q.ThreeLayer {
+		cfg.SiteStart = snap.seedSite
+	}
+	cfg.LocalStarts = snap.seedLocals
 
 	var res *Result
 	if q.ThreeLayer {
@@ -364,13 +460,16 @@ func (e *LocalEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 		}
 	}
 	if q.TopK > 0 {
-		res.Top = TopDocs(e.dg, res.DocRank, q.TopK)
+		res.Top = TopDocs(snap.dg, res.DocRank, q.TopK)
 	}
 	return res, nil
 }
 
-// DocGraph returns the graph this engine serves.
-func (e *LocalEngine) DocGraph() *DocGraph { return e.dg }
+// DocGraph returns the graph this engine currently serves. Apply-path
+// Updates evolve the graph through copy-on-write clones, so the
+// returned pointer changes across Updates — re-fetch after updating
+// rather than caching the construction-time pointer.
+func (e *LocalEngine) DocGraph() *DocGraph { return e.snap.Load().dg }
 
 // cloneVectors deep-copies a slice of score vectors.
 func cloneVectors(vs []Vector) []Vector {
@@ -381,16 +480,31 @@ func cloneVectors(vs []Vector) []Vector {
 	return out
 }
 
-// normalizeCtxErr maps any failure of a cancelled query to the
-// context's own error, the Engine contract.
+// normalizeCtxErr maps a cancelled query's failure to the context's own
+// error — the Engine contract — but only when the failure actually is a
+// context abort somewhere down its chain. A query that died for its own
+// reason (say ErrGraphMutated) keeps that error even if the context has
+// since expired: a deadline must not mask a real fault.
 func normalizeCtxErr(ctx context.Context, err error) error {
 	if err == nil {
 		return nil
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return err
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		return cerr
 	}
 	return err
+}
+
+// distSnapshot is one immutable serving state of a DistEngine: the
+// graph, the structural Ranker built for exactly that graph, and the
+// in-flight table coalescing identical queries against it.
+type distSnapshot struct {
+	dg      *DocGraph
+	rk      *lmm.Ranker
+	flights *flightGroup
 }
 
 // DistEngine serves the same queries from a distributed fleet: local
@@ -400,20 +514,22 @@ func normalizeCtxErr(ctx context.Context, err error) error {
 // comes back caller-owned with transport statistics attached. Rank
 // calls are safe for concurrent use — the coordinator serializes runs —
 // but do not overlap on the wire; for query-level concurrency put a
-// LocalEngine replica next to the coordinator instead.
+// LocalEngine replica next to the coordinator instead, or turn on
+// Coalesce so identical concurrent queries share one wire run.
+//
+// Serving state is an atomic snapshot exactly as on LocalEngine: an
+// Update rebuilds against a copy-on-write clone and publishes with one
+// pointer store, never waiting on queries; a Rank that started before
+// the swap completes against its old Ranker (whose graph never
+// mutated). The wire itself still serializes at the coordinator.
 type DistEngine struct {
-	coord *coordinator.Coordinator
-	cfg   coordinator.Config
-
-	// mu orders queries (read side) against Update's Ranker swap (write
-	// side); the coordinator additionally serializes runs on the wire.
-	mu sync.RWMutex
-	dg *DocGraph
-	rk *lmm.Ranker
-	// dirty accumulates changed sites across failed Updates, exactly as
-	// on LocalEngine: sites mutated by an Update that then failed must
-	// still be rebuilt (and their shards re-shipped) by the next one.
-	dirty map[SiteID]bool
+	coord    *coordinator.Coordinator
+	cfg      coordinator.Config
+	admit    *admitGate
+	coalesce bool
+	snap     atomic.Pointer[distSnapshot]
+	updateMu sync.Mutex
+	dirty    map[SiteID]bool
 }
 
 var _ Engine = (*DistEngine)(nil)
@@ -423,7 +539,8 @@ var _ Engine = (*DistEngine)(nil)
 // fleet does the local solving) and every Rank reuses it, so repeated
 // queries ship near-zero shard bytes and hash zero digest bytes. cfg
 // supplies the transport knobs (SiteGraph aggregation, distributed or
-// batched SiteRank, retry policy, compression); its per-query fields —
+// batched SiteRank, retry policy, compression) and the serving knobs
+// (MaxInFlight, RejectOverload, Coalesce); its per-query fields —
 // Damping, Tol, MaxIter, SitePersonalization, ThreeLayer, DomainOf —
 // are ignored and overwritten from each Query. Mutate the graph only
 // through Update (or build a new engine); a mutation outside Update
@@ -433,46 +550,69 @@ func NewDistEngine(cl *Cluster, dg *DocGraph, cfg DistConfig) (*DistEngine, erro
 	if err != nil {
 		return nil, err
 	}
-	return &DistEngine{dg: dg, coord: cl.Coord, rk: rk, cfg: cfg, dirty: make(map[SiteID]bool)}, nil
+	e := &DistEngine{
+		coord:    cl.Coord,
+		cfg:      cfg,
+		admit:    newAdmitGate(cfg.MaxInFlight, cfg.RejectOverload),
+		coalesce: cfg.Coalesce,
+		dirty:    make(map[SiteID]bool),
+	}
+	e.snap.Store(&distSnapshot{dg: dg, rk: rk, flights: newFlightGroup()})
+	return e, nil
 }
 
 // Update applies one batch of graph churn to the distributed engine:
-// delta.Apply (if any) runs once in-flight queries drain, the Ranker is
-// rebuilt incrementally (clean sites keep their precomputed structure),
-// and the coordinator's digest memo is migrated so the next Rank
-// re-hashes only the changed shards — which, through the workers'
+// delta.Apply (if any) runs against a copy-on-write clone, the Ranker
+// is rebuilt incrementally (clean sites keep their precomputed
+// structure), and the coordinator's digest memo is migrated so the next
+// Rank re-hashes only the changed shards — which, through the workers'
 // digest caches, then re-ships only the changed shards: a 1-site edit
 // on an N-site web moves ~1/N of a cold load's bytes
 // (Result.Dist.ShardsReused / ShardsReshipped account for it per run).
 //
-// On error the engine keeps its previous Ranker; if the graph content
-// was already changed, queries fail with ErrGraphMutated until a
-// successful Update — the wire never carries stale shards.
+// Failure semantics match LocalEngine.Update: an Apply-path error is a
+// no-op (the clone is discarded, nothing re-ships, nothing is marked
+// dirty); a nil-Apply failure records the sites and queries fail with
+// ErrGraphMutated until a successful Update — the wire never carries
+// stale shards.
 func (e *DistEngine) Update(ctx context.Context, delta GraphDelta) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	cur := e.snap.Load()
+	if delta.Apply == nil {
+		for _, s := range delta.ChangedSites {
+			e.dirty[s] = true
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return e.rebuildAndPublish(cur, cur.dg, unionSites(e.dirty, nil))
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	changed := mergeDirty(e.dirty, delta.ChangedSites)
-	if delta.Apply != nil {
-		if err := delta.Apply(e.dg); err != nil {
-			return fmt.Errorf("lmmrank: update apply: %w", err)
-		}
+	work := cur.dg.CloneCOW()
+	if err := delta.Apply(work); err != nil {
+		return fmt.Errorf("lmmrank: update apply: %w", err)
 	}
-	next, err := e.rk.Rebuild(changed)
+	return e.rebuildAndPublish(cur, work, unionSites(e.dirty, delta.ChangedSites))
+}
+
+func (e *DistEngine) rebuildAndPublish(cur *distSnapshot, dg *DocGraph, changed []SiteID) error {
+	next, err := cur.rk.RebuildOn(dg, changed)
 	if err != nil {
 		return err
 	}
-	e.coord.RefreshPrepared(e.rk, next, changed)
-	e.rk = next
+	e.coord.RefreshPrepared(cur.rk, next, changed)
+	e.snap.Store(&distSnapshot{dg: dg, rk: next, flights: newFlightGroup()})
 	clear(e.dirty)
 	return nil
 }
 
 // Rank answers one query against the fleet. The context's deadline
 // propagates into every wire exchange and a cancellation aborts the
-// in-flight round, returning ctx.Err().
+// in-flight round, returning ctx.Err(). Admission and coalescing
+// follow the cfg knobs (see NewDistEngine).
 func (e *DistEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -483,10 +623,23 @@ func (e *DistEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if q.DocPersonalization != nil {
 		return nil, fmt.Errorf("%w: document-layer personalization is not part of the distributed wire protocol; use LocalEngine", ErrUnsupportedQuery)
 	}
-	// The read lock spans the whole run: Update cannot swap the Ranker —
-	// or mutate the graph — under an in-flight query.
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	if err := e.admit.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.admit.release()
+	snap := e.snap.Load()
+	if e.coalesce {
+		if key, ok := q.fingerprint(); ok {
+			return snap.flights.do(ctx, key, func() (*Result, error) {
+				return e.rankSnap(ctx, snap, q)
+			})
+		}
+	}
+	return e.rankSnap(ctx, snap, q)
+}
+
+// rankSnap runs one distributed query against a pinned snapshot.
+func (e *DistEngine) rankSnap(ctx context.Context, snap *distSnapshot, q Query) (*Result, error) {
 	cfg := e.cfg
 	cfg.Damping = q.Damping
 	cfg.Tol = q.Tol
@@ -494,7 +647,7 @@ func (e *DistEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	cfg.SitePersonalization = q.SitePersonalization
 	cfg.ThreeLayer = q.ThreeLayer
 	cfg.DomainOf = q.DomainOf
-	dres, err := e.coord.RankPreparedCtx(ctx, e.rk, cfg)
+	dres, err := e.coord.RankPreparedCtx(ctx, snap.rk, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -516,10 +669,11 @@ func (e *DistEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 		res.LocalRanks = dres.LocalRanks
 	}
 	if q.TopK > 0 {
-		res.Top = TopDocs(e.dg, res.DocRank, q.TopK)
+		res.Top = TopDocs(snap.dg, res.DocRank, q.TopK)
 	}
 	return res, nil
 }
 
-// DocGraph returns the graph this engine serves.
-func (e *DistEngine) DocGraph() *DocGraph { return e.dg }
+// DocGraph returns the graph this engine currently serves; as on
+// LocalEngine, the pointer changes across Apply-path Updates.
+func (e *DistEngine) DocGraph() *DocGraph { return e.snap.Load().dg }

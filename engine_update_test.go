@@ -66,7 +66,13 @@ func TestEngineUpdateWarmMatchesColdRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatalf("post-update Rank: %v", err)
 	}
-	coldEng, err := NewLocalEngine(dg, EngineOptions{})
+	// The engine now serves an evolved copy-on-write clone; the caller's
+	// original graph is untouched. Compare against a cold engine over the
+	// graph actually served.
+	if eng.DocGraph() == dg {
+		t.Fatal("Apply-path Update did not evolve the serving graph")
+	}
+	coldEng, err := NewLocalEngine(eng.DocGraph(), EngineOptions{})
 	if err != nil {
 		t.Fatalf("cold NewLocalEngine: %v", err)
 	}
@@ -155,14 +161,86 @@ func TestEngineUpdateApplyError(t *testing.T) {
 	}
 }
 
-// TestEngineFailedUpdateKeepsSitesDirty pins the failed-update recovery
-// contract: when Apply has mutated the graph but the update then fails
-// (here: the context is cancelled during the refresh solve), the
-// mutated sites stay recorded, and the next successful Update — listing
+// TestEngineFailedApplyUpdateIsNoOp pins the new transactional Apply
+// path: an Update that fails after Apply mutated the *clone* (here: the
+// context is cancelled during the refresh solve) discards the clone and
+// leaves the engine exactly as before — no ErrGraphMutated, the same
+// rankings, and nothing marked dirty. Reissuing the delta then succeeds
+// and matches a cold engine over the evolved serving graph.
+func TestEngineFailedApplyUpdateIsNoOp(t *testing.T) {
+	web := churnTestWeb()
+	dg := web.Graph
+	ctx := context.Background()
+	eng, err := NewLocalEngine(dg, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	pre, err := eng.Rank(ctx, Query{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("pre-churn Rank: %v", err)
+	}
+
+	// Update #1 mutates the working clone and then fails: Apply cancels
+	// the update context, so the refresh solve aborts after the clone
+	// changed. Under drain-and-swap semantics this left the engine
+	// poisoned (ErrGraphMutated until recovery); with COW it is a no-op.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	delta := GraphDelta{
+		ChangedSites: []SiteID{3},
+		Apply: func(dg *DocGraph) error {
+			editSite(t, dg, 3)
+			cancel()
+			return nil
+		},
+	}
+	if err := eng.Update(cctx, delta); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Update: err = %v, want context.Canceled", err)
+	}
+	if eng.DocGraph() != dg {
+		t.Fatal("failed Update swapped the serving graph")
+	}
+	post, err := eng.Rank(ctx, Query{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("Rank after failed Update: %v", err)
+	}
+	if d := post.DocRank.L1Diff(pre.DocRank); d != 0 {
+		t.Errorf("failed Update moved the ranking by %g, want bitwise no-op", d)
+	}
+
+	// Reissuing the same delta with a live context succeeds outright.
+	delta.Apply = func(dg *DocGraph) error {
+		editSite(t, dg, 3)
+		return nil
+	}
+	if err := eng.Update(ctx, delta); err != nil {
+		t.Fatalf("reissued Update: %v", err)
+	}
+	got, err := eng.Rank(ctx, Query{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("Rank after reissued Update: %v", err)
+	}
+	coldEng, err := NewLocalEngine(eng.DocGraph(), EngineOptions{})
+	if err != nil {
+		t.Fatalf("cold NewLocalEngine: %v", err)
+	}
+	want, err := coldEng.Rank(ctx, Query{Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if d := got.DocRank.L1Diff(want.DocRank); d >= 1e-9 {
+		t.Errorf("‖reissued − cold‖₁ = %g, want < 1e-9", d)
+	}
+}
+
+// TestEngineFailedNilApplyUpdateKeepsSitesDirty pins the one remaining
+// dirty-tracking path: on the nil-Apply path the serving graph is
+// already mutated when Update is called, so a failed Update must keep
+// the delta's sites recorded, and the next successful Update — listing
 // only its *own* changed sites — must rebuild the earlier ones too.
 // Forgetting them would bless the pre-edit subgraphs into the new core
 // and serve silently stale rankings.
-func TestEngineFailedUpdateKeepsSitesDirty(t *testing.T) {
+func TestEngineFailedNilApplyUpdateKeepsSitesDirty(t *testing.T) {
 	web := churnTestWeb()
 	dg := web.Graph
 	ctx := context.Background()
@@ -174,18 +252,13 @@ func TestEngineFailedUpdateKeepsSitesDirty(t *testing.T) {
 		t.Fatalf("pre-churn Rank: %v", err)
 	}
 
-	// Update #1 mutates site 3 and then fails: Apply cancels the update
-	// context, so the refresh solve aborts after the graph changed.
+	// The caller mutates the serving graph directly, then its recovery
+	// Update fails (already-cancelled context): site 3 must stay
+	// recorded as dirty.
+	editSite(t, dg, 3)
 	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	err = eng.Update(cctx, GraphDelta{
-		ChangedSites: []SiteID{3},
-		Apply: func(dg *DocGraph) error {
-			editSite(t, dg, 3)
-			cancel()
-			return nil
-		},
-	})
+	cancel()
+	err = eng.Update(cctx, GraphDelta{ChangedSites: []SiteID{3}})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled Update: err = %v, want context.Canceled", err)
 	}
@@ -208,7 +281,7 @@ func TestEngineFailedUpdateKeepsSitesDirty(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Rank after recovery: %v", err)
 	}
-	coldEng, err := NewLocalEngine(dg, EngineOptions{})
+	coldEng, err := NewLocalEngine(eng.DocGraph(), EngineOptions{})
 	if err != nil {
 		t.Fatalf("cold NewLocalEngine: %v", err)
 	}
@@ -336,7 +409,9 @@ func TestDistEngineUpdate(t *testing.T) {
 			warm.Dist.BytesSent, cold.Dist.BytesSent)
 	}
 
-	local, err := NewLocalEngine(dg, EngineOptions{})
+	// The engine serves an evolved COW clone after the Apply-path
+	// Update; compare against a LocalEngine over that same graph.
+	local, err := NewLocalEngine(eng.DocGraph(), EngineOptions{})
 	if err != nil {
 		t.Fatalf("NewLocalEngine: %v", err)
 	}
@@ -348,8 +423,9 @@ func TestDistEngineUpdate(t *testing.T) {
 		t.Errorf("‖dist − local‖₁ after Update = %g, want < 1e-9", d)
 	}
 
-	// Mutating behind the engine's back is refused distributedly too.
-	editSite(t, dg, 1)
+	// Mutating behind the engine's back is refused distributedly too —
+	// the mutation must hit the graph currently served.
+	editSite(t, eng.DocGraph(), 1)
 	if _, err := eng.Rank(ctx, Query{}); !errors.Is(err, ErrGraphMutated) {
 		t.Errorf("Rank after external mutation: err = %v, want ErrGraphMutated", err)
 	}

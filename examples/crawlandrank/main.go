@@ -59,9 +59,10 @@ func main() {
 	}
 
 	// Churn: one departmental site adds internal links after the crawl.
-	// Engine.Update delivers the mutation race-free (in-flight queries
-	// drain first), rebuilds only that site's structure and warm-starts
-	// every later query from the previous solution.
+	// Engine.Update delivers the mutation race-free — Apply runs against
+	// a copy-on-write clone published atomically, so in-flight queries
+	// finish undisturbed — rebuilds only that site's structure and
+	// warm-starts every later query from the previous solution.
 	var site lmmrank.SiteID = 5
 	err = eng.Update(ctx, lmmrank.GraphDelta{
 		ChangedSites: []lmmrank.SiteID{site},
@@ -96,7 +97,9 @@ func main() {
 		DocRank: ranking.DocRank, SiteRank: ranking.SiteRank,
 		LocalRanks: ranking.LocalRanks, SiteIterations: ranking.SiteIterations,
 	}
-	updated, err := lmmrank.UpdateLayeredDocRank(snapshot, prev, []lmmrank.SiteID{site}, lmmrank.WebConfig{})
+	// eng.DocGraph() is the graph the engine serves now — the Apply-path
+	// Update evolved it past the original crawl snapshot.
+	updated, err := lmmrank.UpdateLayeredDocRank(eng.DocGraph(), prev, []lmmrank.SiteID{site}, lmmrank.WebConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

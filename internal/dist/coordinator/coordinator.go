@@ -115,6 +115,16 @@ type Config struct {
 	// Retry controls mid-run fault tolerance; the zero value disables
 	// recovery.
 	Retry RetryPolicy
+	// MaxInFlight, RejectOverload and Coalesce are serving knobs
+	// consumed by the root package's DistEngine, not by the
+	// coordinator itself (which already serializes runs on the wire):
+	// MaxInFlight caps concurrently admitted queries (0 = no cap),
+	// RejectOverload makes over-cap queries fail fast instead of
+	// queueing, and Coalesce merges concurrent identical queries into
+	// one wire run.
+	MaxInFlight    int
+	RejectOverload bool
+	Coalesce       bool
 }
 
 func (c Config) damping() float64 {

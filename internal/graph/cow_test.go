@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cowTestGraph builds a small deduplicated graph with a multi-edge row.
+func cowTestGraph(t *testing.T) *Digraph {
+	t.Helper()
+	g := NewDigraph(4)
+	g.AddLink(0, 1)
+	g.AddLink(0, 2)
+	g.AddLink(1, 2)
+	g.AddLink(2, 0)
+	g.AddLink(2, 3)
+	g.Dedupe()
+	return g
+}
+
+// TestCloneCOWSharesRows pins the memory shape: a COW clone aliases every
+// non-empty adjacency row of the parent by pointer.
+func TestCloneCOWSharesRows(t *testing.T) {
+	g := cowTestGraph(t)
+	c := g.CloneCOW()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("clone shape %d/%d vs parent %d/%d",
+			c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := range g.out {
+		if len(g.out[i]) == 0 {
+			continue
+		}
+		if &g.out[i][0] != &c.out[i][0] {
+			t.Errorf("row %d not shared by pointer", i)
+		}
+	}
+	if c.Version() != g.Version() {
+		t.Errorf("clone version %d, parent %d", c.Version(), g.Version())
+	}
+}
+
+// TestCloneCOWDetachOnMutation: mutating the clone copies the touched row
+// out and leaves every parent row byte-identical; the parent's version
+// never moves.
+func TestCloneCOWDetachOnMutation(t *testing.T) {
+	g := cowTestGraph(t)
+	before := g.Clone()
+	v := g.Version()
+
+	c := g.CloneCOW()
+	c.AddLink(0, 3)
+	c.AddLink(2, 1)
+	c.Dedupe()
+	c.TransitionMatrix()
+
+	if g.Version() != v {
+		t.Fatalf("parent version moved: %d -> %d", v, g.Version())
+	}
+	if !reflect.DeepEqual(g.out, before.out) {
+		t.Fatal("parent adjacency changed under a clone mutation")
+	}
+	if d := c.OutDegree(0); d != 3 {
+		t.Errorf("clone OutDegree(0) = %d, want 3", d)
+	}
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("parent OutDegree(0) = %d, want 2", d)
+	}
+}
+
+// TestCloneCOWParentMutationDetaches: the sharing is symmetric — an
+// AddEdge on the parent after the clone copies the parent's row out, so
+// the clone keeps reading the original contents.
+func TestCloneCOWParentMutationDetaches(t *testing.T) {
+	g := cowTestGraph(t)
+	c := g.CloneCOW()
+	cBefore := c.Clone()
+
+	g.AddLink(1, 3)
+	g.AddLink(1, 0)
+	g.Dedupe()
+
+	if !reflect.DeepEqual(c.out, cBefore.out) {
+		t.Fatal("clone adjacency changed under a parent mutation")
+	}
+	if d := g.OutDegree(1); d != 3 {
+		t.Errorf("parent OutDegree(1) = %d, want 3", d)
+	}
+	if d := c.OutDegree(1); d != 1 {
+		t.Errorf("clone OutDegree(1) = %d, want 1", d)
+	}
+}
+
+// TestCloneCOWTransitionMatrix: both sides build correct (and initially
+// identical, cached) transition matrices; after a clone mutation each
+// side's matrix reflects its own graph.
+func TestCloneCOWTransitionMatrix(t *testing.T) {
+	g := cowTestGraph(t)
+	gm := g.TransitionMatrix()
+	c := g.CloneCOW()
+	if c.TransitionMatrix() != gm {
+		t.Error("clone did not inherit the cached transition matrix")
+	}
+	c.AddLink(3, 0)
+	if got := c.TransitionMatrix(); got == gm {
+		t.Error("clone mutation did not invalidate its transition matrix")
+	}
+	if g.TransitionMatrix() != gm {
+		t.Error("clone mutation invalidated the parent's transition matrix")
+	}
+	want := g.Clone().TransitionDense()
+	if !reflect.DeepEqual(g.TransitionDense(), want) {
+		t.Error("parent transition matrix deviates from a deep copy's")
+	}
+}
+
+// TestCloneCOWChained: clone-of-clone keeps the same guarantees, the
+// lineage the engine produces under repeated updates.
+func TestCloneCOWChained(t *testing.T) {
+	g := cowTestGraph(t)
+	c1 := g.CloneCOW()
+	c1.AddLink(0, 3)
+	c1.Dedupe()
+	c2 := c1.CloneCOW()
+	c2.AddLink(1, 3)
+	c2.Dedupe()
+
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("root OutDegree(0) = %d, want 2", d)
+	}
+	if d := c1.OutDegree(1); d != 1 {
+		t.Errorf("c1 OutDegree(1) = %d, want 1", d)
+	}
+	if d := c2.OutDegree(0); d != 3 {
+		t.Errorf("c2 OutDegree(0) = %d, want 3", d)
+	}
+	if d := c2.OutDegree(1); d != 2 {
+		t.Errorf("c2 OutDegree(1) = %d, want 2", d)
+	}
+}
+
+// TestDocGraphCloneCOW covers the roster half: fresh Docs/Sites slices,
+// appends to the clone never disturb the parent, and the digraph is
+// COW-shared.
+func TestDocGraphCloneCOW(t *testing.T) {
+	b := NewBuilder()
+	b.AddLink("http://a.example/1", "http://a.example/2")
+	b.AddLink("http://a.example/2", "http://b.example/1")
+	b.AddLink("http://b.example/1", "http://a.example/1")
+	dg := b.Build()
+
+	c := dg.CloneCOW()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	nd, ns := dg.NumDocs(), dg.NumSites()
+
+	// Grow the clone: a new document on site 0 plus a brand-new site.
+	c.Docs = append(c.Docs, Doc{URL: "http://a.example/3", Site: 0})
+	c.Sites[0].Docs = append(c.Sites[0].Docs, DocID(nd))
+	c.Docs = append(c.Docs, Doc{URL: "http://c.example/1", Site: SiteID(ns)})
+	c.Sites = append(c.Sites, Site{Name: "c.example", Docs: []DocID{DocID(nd + 1)}})
+	c.G.EnsureNodes(len(c.Docs))
+	c.G.AddLink(nd, 0)
+
+	if err := c.Validate(); err != nil {
+		t.Fatalf("grown clone invalid: %v", err)
+	}
+	if dg.NumDocs() != nd || dg.NumSites() != ns {
+		t.Fatalf("parent grew to %d docs / %d sites", dg.NumDocs(), dg.NumSites())
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatalf("parent invalid after clone growth: %v", err)
+	}
+	if got := len(dg.Sites[0].Docs); got != 2 {
+		t.Errorf("parent site 0 roster length %d, want 2", got)
+	}
+}

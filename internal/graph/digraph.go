@@ -41,6 +41,13 @@ type Digraph struct {
 	// TransitionMatrix do not advance it: they reorganize storage without
 	// changing the graph's content.
 	version uint64
+	// shared marks adjacency rows whose backing arrays are aliased by a
+	// CloneCOW relative (in either direction). A shared row is immutable:
+	// AddEdge copies it out (detachRow) before appending, and Dedupe skips
+	// it — sound because CloneCOW dedupes first, so every shared row is
+	// already sorted and merged. nil (the common case) means no row is
+	// shared. Rows past len(shared) are never shared.
+	shared []bool
 }
 
 // NewDigraph returns a graph with n isolated nodes.
@@ -91,6 +98,7 @@ func (g *Digraph) AddEdge(from, to int, weight float64) {
 	if weight <= 0 {
 		panic(fmt.Sprintf("graph: non-positive edge weight %g", weight))
 	}
+	g.detachRow(from)
 	g.out[from] = append(g.out[from], Edge{To: to, Weight: weight})
 	g.deduped = false
 	g.trans = nil
@@ -100,14 +108,26 @@ func (g *Digraph) AddEdge(from, to int, weight float64) {
 // AddLink adds a unit-weight edge, the common case for one hyperlink.
 func (g *Digraph) AddLink(from, to int) { g.AddEdge(from, to, 1) }
 
+// detachRow copies a COW-shared adjacency row into private storage so an
+// imminent mutation cannot disturb the relative aliasing its backing.
+func (g *Digraph) detachRow(i int) {
+	if i < len(g.shared) && g.shared[i] {
+		g.out[i] = append([]Edge(nil), g.out[i]...)
+		g.shared[i] = false
+	}
+}
+
 // Dedupe merges parallel edges by summing weights and sorts each adjacency
-// list by target. Idempotent; cheap when already deduplicated.
+// list by target. Idempotent; cheap when already deduplicated. COW-shared
+// rows are skipped: they were deduplicated before being shared, and
+// sorting them in place would corrupt the relative reading the same
+// backing array.
 func (g *Digraph) Dedupe() {
 	if g.deduped {
 		return
 	}
 	for i, es := range g.out {
-		if len(es) <= 1 {
+		if len(es) <= 1 || (i < len(g.shared) && g.shared[i]) {
 			continue
 		}
 		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
@@ -189,6 +209,39 @@ func (g *Digraph) Clone() *Digraph {
 	}
 	c.deduped = g.deduped
 	c.version = g.version
+	return c
+}
+
+// CloneCOW returns a copy-on-write clone: every adjacency row is shared
+// with g by pointer and marked shared on both sides, so the clone costs
+// O(nodes) instead of O(edges). Either graph may keep mutating — AddEdge
+// detaches (privately copies) a shared row before appending, and Dedupe
+// leaves shared rows alone — without ever writing memory the other can
+// read, which is what lets an immutable serving snapshot keep answering
+// straggler queries while an update mutates the clone off to the side.
+// g is deduplicated first so the shared rows are in their final sorted,
+// merged form. The clone starts at g's version and advances
+// independently; the cached transition matrix carries over (same
+// content) until either side mutates.
+func (g *Digraph) CloneCOW() *Digraph {
+	g.Dedupe()
+	n := len(g.out)
+	for len(g.shared) < n {
+		g.shared = append(g.shared, false)
+	}
+	c := &Digraph{
+		out:     append([][]Edge(nil), g.out...),
+		deduped: true,
+		trans:   g.trans,
+		version: g.version,
+		shared:  make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		if len(g.out[i]) > 0 {
+			g.shared[i] = true
+			c.shared[i] = true
+		}
+	}
 	return c
 }
 

@@ -84,6 +84,24 @@ func (dg *DocGraph) Validate() error {
 	return nil
 }
 
+// CloneCOW returns a copy-on-write clone of the whole document graph:
+// the digraph shares clean adjacency rows with dg by pointer (see
+// Digraph.CloneCOW), and the Docs and Sites rosters are fresh slices
+// whose elements are copied — appending documents or sites to the clone
+// never disturbs dg. The one aliasing left is each Site.Docs slice,
+// which the clone shares until it appends to it; appends only ever write
+// indices at or past every aliasing holder's length, so readers of the
+// original (who read strictly below their own length) are safe — the
+// append-only contract the serving snapshots rely on. Mutating a shared
+// roster in place (reordering, truncating) is not supported.
+func (dg *DocGraph) CloneCOW() *DocGraph {
+	return &DocGraph{
+		G:     dg.G.CloneCOW(),
+		Docs:  append([]Doc(nil), dg.Docs...),
+		Sites: append([]Site(nil), dg.Sites...),
+	}
+}
+
 // LocalSubgraph extracts G^s_d = (V_d(s), E_d(s)): the subgraph of site s
 // restricted to edges whose both endpoints are local documents of s (§3.1).
 // The returned LocalIndex maps between global DocIDs and the compact local

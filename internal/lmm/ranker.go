@@ -375,6 +375,14 @@ func (r *Ranker) Rank3(domainOf func(siteName string) string, cfg WebConfig) (*W
 	if r.Stale() {
 		return nil, ErrGraphMutated
 	}
+	// SiteStart is a two-layer seed (πS over sites). The three-layer
+	// upper stack solves different chains — the domain layer and
+	// per-domain site entries — whose dimensions can coincide with the
+	// site count (every site its own domain), so a two-layer seed could
+	// slip through a shape check and bias the wrong solve. Drop it here:
+	// three-layer site-level warmth is not a supported hint. LocalStarts
+	// stay — the document layer is identical in both models.
+	cfg.SiteStart = nil
 	tl, err := r.ThreeLayerWeights(domainOf, cfg)
 	if err != nil {
 		return nil, err

@@ -30,8 +30,22 @@ import (
 // path. The returned Ranker has fresh private scratch; call Prepare (or
 // serve a warm-up query) before fanning Share()d copies out.
 func (r *Ranker) Rebuild(changed []graph.SiteID) (*Ranker, error) {
+	return r.RebuildOn(r.core.dg, changed)
+}
+
+// RebuildOn is Rebuild against an explicit target graph — the
+// snapshot-serving form: dg is typically a DocGraph.CloneCOW() of this
+// Ranker's graph with a delta applied, so the old Ranker's graph never
+// mutates and it keeps serving straggler queries (no ErrGraphMutated)
+// while the new Ranker is built off to the side. Clean sites share their
+// precomputed structure by pointer exactly as in Rebuild — a rankerSite
+// holds no reference back to the graph it was extracted from, which is
+// what makes the sharing sound across graph copies. The changed-list
+// contract is Rebuild's: every site whose pages or links differ between
+// the old core's build and dg must be listed (appended sites are
+// implicit), and an unlisted roster change fails with ErrStaleResult.
+func (r *Ranker) RebuildOn(dg *graph.DocGraph, changed []graph.SiteID) (*Ranker, error) {
 	old := r.core
-	dg := old.dg
 	if err := dg.Validate(); err != nil {
 		return nil, fmt.Errorf("lmm: rebuild: %w", err)
 	}

@@ -195,6 +195,64 @@ func TestRebuildHandlesNewSite(t *testing.T) {
 	}
 }
 
+// TestRebuildOnCOWCloneKeepsOldRankerServing pins the snapshot-serving
+// contract: applying the mutation to a CloneCOW of the graph and
+// rebuilding on the clone leaves the old Ranker's graph untouched, so
+// the old Ranker keeps answering (no ErrGraphMutated) with its original
+// ranking while the new Ranker agrees with a cold build on the clone.
+func TestRebuildOnCOWCloneKeepsOldRankerServing(t *testing.T) {
+	dg := randomWeb(rand.New(rand.NewSource(97)), 8, 80)
+	rk, err := NewRanker(dg, RankerOptions{})
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	pre, err := rk.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("pre-clone Rank: %v", err)
+	}
+	preDoc := pre.DocRank.Clone()
+
+	work := dg.CloneCOW()
+	mutateSite(t, work, 3)
+	warm, err := rk.RebuildOn(work, []graph.SiteID{3})
+	if err != nil {
+		t.Fatalf("RebuildOn: %v", err)
+	}
+
+	// The old Ranker's graph never mutated: it keeps serving, bit-stable.
+	if rk.Stale() {
+		t.Fatal("old Ranker stale after a COW-clone rebuild")
+	}
+	post, err := rk.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("old Ranker Rank after RebuildOn: %v", err)
+	}
+	if d := post.DocRank.L1Diff(preDoc); d != 0 {
+		t.Errorf("old Ranker's ranking moved by %g under a clone rebuild", d)
+	}
+
+	// The new Ranker agrees with a cold build on the mutated clone.
+	cold, err := NewRanker(work, RankerOptions{})
+	if err != nil {
+		t.Fatalf("cold NewRanker on clone: %v", err)
+	}
+	wres, err := warm.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("warm Rank: %v", err)
+	}
+	cres, err := cold.Rank(WebConfig{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("cold Rank: %v", err)
+	}
+	if d := wres.DocRank.L1Diff(cres.DocRank); d >= 1e-12 {
+		t.Errorf("‖rebuildOn − cold‖₁ = %g, want < 1e-12", d)
+	}
+	// And it differs from the pre-mutation ranking (the edit was real).
+	if d := wres.DocRank.L1Diff(preDoc); d == 0 {
+		t.Error("mutated clone ranks identically to the original graph")
+	}
+}
+
 // TestWarmStartSeedsCutIterations pins the convergence half of the churn
 // path: seeding the site layer and the locals with the previous solution
 // must reduce power-method work on a lightly mutated graph, and

@@ -1,0 +1,236 @@
+package lmmrank
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports a Rank call rejected at admission: the engine's
+// MaxInFlight cap is reached and RejectOverload is set. Shed the query
+// or retry on another replica; check with errors.Is.
+var ErrOverloaded = errors.New("lmmrank: engine overloaded")
+
+// admitGate is a counting-semaphore admission cap in front of Rank. A
+// nil gate (no cap configured) admits everything; all methods are
+// nil-safe so call sites stay unconditional.
+type admitGate struct {
+	slots  chan struct{}
+	reject bool
+}
+
+// newAdmitGate returns the gate for a MaxInFlight cap, or nil when no
+// cap was asked for.
+func newAdmitGate(max int, reject bool) *admitGate {
+	if max <= 0 {
+		return nil
+	}
+	return &admitGate{slots: make(chan struct{}, max), reject: reject}
+}
+
+// acquire takes an admission slot: immediately if one is free,
+// otherwise failing fast with ErrOverloaded (reject mode) or queueing
+// until a slot frees or ctx aborts (queue mode).
+func (g *admitGate) acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.reject {
+		return ErrOverloaded
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an acquired slot. Must pair with a successful acquire.
+func (g *admitGate) release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// flight is one in-progress computation other callers may wait on.
+// res/err are written exactly once, before done closes; waiters read
+// them only after <-done. waiters counts the callers coalesced onto
+// this flight so far.
+type flight struct {
+	done    chan struct{}
+	waiters atomic.Int32
+	res     *Result
+	err     error
+}
+
+// flightGroup coalesces concurrent identical queries: the first caller
+// for a fingerprint becomes the leader and computes; callers arriving
+// while the flight is open wait on it and receive their own deep copy
+// of the leader's result (the leader gets a copy too — the stored
+// result stays private, so no two callers ever alias memory). Each
+// serving snapshot owns one group, so queries only ever coalesce onto
+// work running against their own snapshot.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do runs fn under single-flight semantics for key. A waiter whose own
+// ctx aborts returns ctx.Err() without waiting further. A waiter whose
+// leader failed with a context abort (the leader's ctx, not the
+// waiter's) retries as a fresh leader if its own ctx is still live —
+// one caller's deadline must not fail everyone coalesced behind it;
+// any other leader error is shared as-is.
+func (fg *flightGroup) do(ctx context.Context, key string, fn func() (*Result, error)) (*Result, error) {
+	for {
+		fg.mu.Lock()
+		if f, ok := fg.m[key]; ok {
+			fg.mu.Unlock()
+			f.waiters.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					if ctx.Err() == nil {
+						continue
+					}
+					return nil, ctx.Err()
+				}
+				return nil, f.err
+			}
+			return cloneResult(f.res), nil
+		}
+		f := &flight{done: make(chan struct{})}
+		fg.m[key] = f
+		fg.mu.Unlock()
+		f.res, f.err = fn()
+		fg.mu.Lock()
+		delete(fg.m, key)
+		fg.mu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return nil, f.err
+		}
+		return cloneResult(f.res), nil
+	}
+}
+
+// fingerprint returns a collision-resistant key over every field that
+// determines a query's answer, and whether the query is coalesceable at
+// all. A non-nil DomainOf is not — function identity cannot be hashed —
+// and such queries always compute individually. The encoding is
+// injective: every variable-length field is length-prefixed and the
+// map is serialized in sorted key order, so distinct queries cannot
+// collide by concatenation.
+func (q Query) fingerprint() (string, bool) {
+	if q.DomainOf != nil {
+		return "", false
+	}
+	h := sha256.New()
+	var buf [8]byte
+	putU := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	putF := func(f float64) { putU(math.Float64bits(f)) }
+	putF(q.Damping)
+	putF(q.Tol)
+	putU(uint64(int64(q.MaxIter)))
+	putU(uint64(int64(q.TopK)))
+	var flags uint64
+	if q.ThreeLayer {
+		flags |= 1
+	}
+	if q.WantLocalRanks {
+		flags |= 2
+	}
+	if q.SitePersonalization != nil {
+		flags |= 4
+	}
+	if q.DocPersonalization != nil {
+		flags |= 8
+	}
+	putU(flags)
+	putU(uint64(len(q.SitePersonalization)))
+	for _, v := range q.SitePersonalization {
+		putF(v)
+	}
+	putU(uint64(len(q.DocPersonalization)))
+	if len(q.DocPersonalization) > 0 {
+		sites := make([]SiteID, 0, len(q.DocPersonalization))
+		for s := range q.DocPersonalization {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(a, b int) bool { return sites[a] < sites[b] })
+		for _, s := range sites {
+			putU(uint64(int64(s)))
+			v := q.DocPersonalization[s]
+			putU(uint64(len(v)))
+			for _, x := range v {
+				putF(x)
+			}
+		}
+	}
+	return string(h.Sum(nil)), true
+}
+
+// cloneResult deep-copies a Result so every coalesced caller owns its
+// answer outright. Nil fields stay nil — a copy must be
+// indistinguishable from an uncoalesced result for the same query.
+func cloneResult(r *Result) *Result {
+	if r == nil {
+		return nil
+	}
+	c := &Result{SiteIterations: r.SiteIterations}
+	if r.DocRank != nil {
+		c.DocRank = r.DocRank.Clone()
+	}
+	if r.SiteRank != nil {
+		c.SiteRank = r.SiteRank.Clone()
+	}
+	if r.Domains != nil {
+		c.Domains = append([]string(nil), r.Domains...)
+	}
+	if r.DomainRank != nil {
+		c.DomainRank = r.DomainRank.Clone()
+	}
+	if r.DomainOfSite != nil {
+		c.DomainOfSite = append([]int(nil), r.DomainOfSite...)
+	}
+	if r.SiteEntry != nil {
+		c.SiteEntry = r.SiteEntry.Clone()
+	}
+	if r.LocalRanks != nil {
+		c.LocalRanks = cloneVectors(r.LocalRanks)
+	}
+	if r.Top != nil {
+		c.Top = append([]DocScore(nil), r.Top...)
+	}
+	if r.LocalIterations != nil {
+		c.LocalIterations = append([]int(nil), r.LocalIterations...)
+	}
+	if r.Dist != nil {
+		stats := *r.Dist
+		c.Dist = &stats
+	}
+	return c
+}
