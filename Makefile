@@ -9,12 +9,13 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: ci check fmt vet build test race bench bench-smoke docs
+.PHONY: ci check fmt vet build test race chaos bench bench-smoke docs
 
 # The umbrella target CI calls: the fast gate, the race detector over
-# the concurrency-heavy packages, and a 1x smoke pass over every
-# benchmark (so the E-series cannot rot between bench sessions).
-ci: check race bench-smoke
+# the concurrency-heavy packages, the deterministic-seed fault sweep,
+# and a 1x smoke pass over every benchmark (so the E-series cannot rot
+# between bench sessions).
+ci: check race chaos bench-smoke
 
 check: fmt vet build test docs
 
@@ -40,6 +41,12 @@ test:
 # stalling CI for the runner's full budget.
 race:
 	$(GO) test -race -timeout 10m . ./internal/dist/... ./internal/lmm/...
+
+# The fault-injection sweep: the seeded kill/rejoin/resume soak over the
+# chaos-proxied fleet, race-checked. The seed is fixed in the test, so a
+# CI failure reproduces locally with this exact command.
+chaos:
+	$(GO) test -race -run 'Chaos' -timeout 10m -count=1 ./internal/dist/...
 
 # Documentation gate: go vet's doc-adjacent checks run under `vet`; this
 # target additionally fails when any package (library or command) lacks a

@@ -7,17 +7,25 @@
 //
 //	lmmcoord -graph campus.graph -workers host1:7100,host2:7100
 //	         [-format text|gob] [-top 15] [-distributed-siterank]
-//	         [-batch-rounds 4] [-max-worker-failures 1] [-runs 2]
+//	         [-batch-rounds 4] [-max-worker-failures 1] [-max-redials 0]
+//	         [-checkpoint siterank.ckpt] [-resume] [-runs 2]
 //	         [-compress] [-timeout 30s]
 //
 // Shards are balanced over the fleet by page count and negotiated
 // against the workers' digest caches, so with -runs > 1 every run after
 // the first ships near-zero shard bytes. -max-worker-failures lets a
 // run survive peers dying mid-flight (their shards are reassigned);
+// -max-redials additionally redials lost peers in the background with
+// jittered exponential backoff and re-admits them mid-run, rebalancing
+// their shards back (near-zero bytes when their caches are still warm).
 // -batch-rounds exchanges several SiteRank power rounds per message
-// when -distributed-siterank is on. -compress flate-compresses shard
-// payloads on the wire; -timeout bounds each whole run with a context
-// deadline that propagates into every worker exchange.
+// when -distributed-siterank is on. -checkpoint persists the SiteRank
+// iterate to a file after every round; a coordinator restarted with
+// -resume picks the iteration up from the last checkpointed round
+// instead of round zero (without -resume a stale checkpoint is cleared
+// first). -compress flate-compresses shard payloads on the wire;
+// -timeout bounds each whole run with a context deadline that
+// propagates into every worker exchange.
 package main
 
 import (
@@ -51,6 +59,9 @@ func run() error {
 		distSite  = flag.Bool("distributed-siterank", false, "compute SiteRank by distributed power iteration")
 		batch     = flag.Int("batch-rounds", 0, "SiteRank power rounds per exchange (with -distributed-siterank; <=1 = one round per exchange)")
 		failures  = flag.Int("max-worker-failures", 1, "worker losses one run may absorb by reassigning shards (0 = fail on first loss)")
+		redials   = flag.Int("max-redials", 0, "background redial attempts per lost worker (0 = lost workers stay lost)")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint the SiteRank iterate to this file (with -distributed-siterank)")
+		resume    = flag.Bool("resume", false, "resume the SiteRank iteration from the checkpoint file")
 		runs      = flag.Int("runs", 1, "repeat the ranking; runs after the first hit the workers' shard caches")
 		compress  = flag.Bool("compress", false, "flate-compress shard payloads on the wire")
 		timeout   = flag.Duration("timeout", 0, "deadline per ranking run (0 = none); propagates into every worker exchange")
@@ -59,6 +70,13 @@ func run() error {
 	if *graphPath == "" || *workers == "" {
 		flag.Usage()
 		return fmt.Errorf("-graph and -workers are required")
+	}
+	// Flag combinations fail before any worker is dialed.
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *ckptPath != "" && !*distSite {
+		return fmt.Errorf("-checkpoint needs -distributed-siterank (the central SiteRank has no distributed iteration to checkpoint)")
 	}
 
 	f, err := os.Open(*graphPath)
@@ -107,7 +125,20 @@ func run() error {
 		DistributedSiteRank: *distSite,
 		BatchRounds:         *batch,
 		Compress:            *compress,
-		Retry:               coordinator.RetryPolicy{MaxWorkerFailures: *failures},
+		Retry: coordinator.RetryPolicy{
+			MaxWorkerFailures: *failures,
+			MaxRedials:        *redials,
+		},
+	}
+	if *ckptPath != "" {
+		ckpt := coordinator.NewFileCheckpoint(*ckptPath)
+		if !*resume {
+			// A fresh start must not accidentally resume last night's run.
+			if err := ckpt.Clear(); err != nil {
+				return err
+			}
+		}
+		cfg.Checkpoint = ckpt
 	}
 	var res *coordinator.Result
 	for run := 1; run <= *runs; run++ {
@@ -143,6 +174,14 @@ func run() error {
 		if res.Stats.WorkersLost > 0 {
 			fmt.Printf("; survived %d worker losses (%d shards reassigned, %d retries)",
 				res.Stats.WorkersLost, res.Stats.Reassignments, res.Stats.Retries)
+		}
+		if res.Stats.RedialAttempts > 0 || res.Stats.WorkersRejoined > 0 {
+			fmt.Printf("; re-admitted %d workers (%d redials, %.2f MB re-shipped on rejoin)",
+				res.Stats.WorkersRejoined, res.Stats.RedialAttempts,
+				float64(res.Stats.RejoinShardBytes)/1e6)
+		}
+		if res.Stats.ResumedFromRound > 0 {
+			fmt.Printf("; resumed SiteRank from checkpointed round %d", res.Stats.ResumedFromRound)
 		}
 		if res.Stats.BatchMessagesSaved > 0 {
 			fmt.Printf("; batching saved %d SiteRank messages", res.Stats.BatchMessagesSaved)

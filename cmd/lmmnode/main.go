@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	lmmnode -listen 0.0.0.0:7100
+//	lmmnode -listen 0.0.0.0:7100 [-drain-timeout 10s]
 //
-// The process serves until SIGINT/SIGTERM, then shuts down gracefully.
+// The process serves until SIGINT/SIGTERM, then shuts down gracefully:
+// it stops accepting, lets in-flight exchanges finish their responses
+// (bounded by -drain-timeout), and exits. A second signal — or an
+// expired drain — forces an immediate close.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lmmrank/internal/dist/worker"
 )
@@ -28,6 +33,7 @@ func main() {
 
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:7100", "address to serve on")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for in-flight exchanges")
 	flag.Parse()
 
 	w := worker.New()
@@ -41,9 +47,16 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
-	fmt.Println("lmmnode: shutting down")
-	if err := w.Close(); err != nil {
-		return err
+	fmt.Println("lmmnode: draining (signal again to force)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		// A second signal abandons the drain.
+		<-sig
+		cancel()
+	}()
+	if err := w.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lmmnode: forced close:", err)
 	}
 	st := w.Stats()
 	fmt.Printf("lmmnode: served %d messages (%d bytes in, %d bytes out); cache held %d shards / %d docs\n",

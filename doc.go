@@ -21,8 +21,9 @@
 //   - a distributed runtime: loopback or networked worker fleets driven by
 //     a coordinator over a gob/TCP RPC substrate, with page-count shard
 //     balancing, digest-keyed worker caches, flate shard compression,
-//     batched SiteRank rounds and mid-run worker-loss recovery
-//     (DistRetryPolicy).
+//     batched SiteRank rounds, mid-run worker-loss recovery and
+//     background redial with mid-run re-admission (DistRetryPolicy),
+//     and checkpointed SiteRank iteration (DistCheckpoint).
 //
 // Quick start:
 //
@@ -104,6 +105,28 @@
 //   - After an out-of-band mutation (or a failed nil-Apply Update),
 //     queries keep failing with ErrGraphMutated until a successful
 //     Update or a fresh engine — recovery is always explicit.
+//
+// Self-healing and restart: DistRetryPolicy.MaxRedials arms a
+// background redial loop — each lost worker is redialed with jittered
+// exponential backoff (RedialBase doubling up to RedialMax) and, once
+// reachable, re-admitted at the next sequential point of the same run:
+// its sites rebalance back by the deterministic weighted assignment, a
+// warm digest cache means near-zero bytes re-shipped
+// (DistStats.RejoinShardBytes measures exactly the rejoin traffic), and
+// interim owners drop the moved sites so no chain row is double-counted.
+// Orthogonally, DistConfig.Checkpoint persists the distributed SiteRank
+// iterate so a restarted coordinator resumes instead of recomputing. The
+// Checkpoint contract: Save must durably replace the stored state or
+// fail the run (FileCheckpoint writes a temp file and renames — readers
+// never see a torn state); Load returns (nil, nil) when nothing is
+// stored; a state whose digest does not match the current graph +
+// configuration (mode, sizes, damping, tolerance, iteration cap,
+// teleport vector, shard digests) is ignored and the iteration starts
+// fresh; a converged run Clears its checkpoint. Resuming continues the
+// exact float sequence — gob round-trips float64 losslessly — so an
+// interrupted-and-resumed run reproduces the uninterrupted ranks
+// bitwise, in fewer remaining rounds (DistStats.ResumedFromRound +
+// SiteRankRounds equals the uninterrupted total).
 //
 // Serving admission: EngineOptions.MaxInFlight caps concurrent queries
 // (queueing under ctx, or failing fast with ErrOverloaded when

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"lmmrank/internal/dist/chaos"
 	"lmmrank/internal/dist/coordinator"
 	"lmmrank/internal/dist/worker"
 )
@@ -18,8 +19,14 @@ import (
 type Local struct {
 	// Workers are the running peers, in address order.
 	Workers []*worker.Worker
-	// Addrs are the bound loopback addresses, aligned with Workers.
+	// Addrs are the addresses the coordinator dialed, aligned with
+	// Workers: the workers' own loopback addresses from StartLocal, the
+	// fault proxies' from StartChaosLocal.
 	Addrs []string
+	// Proxies are the per-worker fault-injection proxies of a
+	// StartChaosLocal fleet (nil from StartLocal), aligned with
+	// Workers. Swap scripts with Proxy.SetScript to inject faults.
+	Proxies []*chaos.Proxy
 	// Coord is connected to every worker and ready to Rank.
 	Coord *coordinator.Coordinator
 
@@ -44,6 +51,42 @@ func StartLocal(n int) (*Local, error) {
 		}
 		l.Workers = append(l.Workers, w)
 		l.Addrs = append(l.Addrs, addr)
+	}
+	coord, err := coordinator.Dial(l.Addrs)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	l.Coord = coord
+	return l, nil
+}
+
+// StartChaosLocal is StartLocal with a chaos.Proxy spliced between the
+// coordinator and every worker: the coordinator dials the proxies, so
+// tests can kill, delay, partition or duplicate any worker's traffic
+// mid-run by script — while the worker process (and its warm digest
+// cache) survives, which is what makes redial-and-rejoin meaningful.
+// Proxies start with a nil (pass-everything) script.
+func StartChaosLocal(n int) (*Local, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 worker, got %d", n)
+	}
+	l := &Local{}
+	for i := 0; i < n; i++ {
+		w := worker.New()
+		addr, err := w.Start("127.0.0.1:0")
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("cluster: starting worker %d: %w", i, err)
+		}
+		l.Workers = append(l.Workers, w)
+		p, err := chaos.NewProxy(addr, nil)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("cluster: starting proxy %d: %w", i, err)
+		}
+		l.Proxies = append(l.Proxies, p)
+		l.Addrs = append(l.Addrs, p.Addr())
 	}
 	coord, err := coordinator.Dial(l.Addrs)
 	if err != nil {
@@ -79,6 +122,11 @@ func (l *Local) Close() error {
 	var first error
 	if l.Coord != nil {
 		if err := l.Coord.Close(); err != nil {
+			first = err
+		}
+	}
+	for _, p := range l.Proxies {
+		if err := p.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

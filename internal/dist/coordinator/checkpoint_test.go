@@ -1,0 +1,226 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lmmrank/internal/dist/wire"
+)
+
+func TestFileCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siterank.ckpt")
+	ck := NewFileCheckpoint(path)
+
+	// Empty store: Load is the documented nil, nil.
+	st, err := ck.Load()
+	if err != nil || st != nil {
+		t.Fatalf("Load on a missing file = %v, %v, want nil, nil", st, err)
+	}
+
+	in := &CheckpointState{Digest: wire.Digest{1, 2, 3}, Round: 42, X: []float64{0.25, 0.75}}
+	if err := ck.Save(in); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temp file survived the atomic rename: stat err = %v", err)
+	}
+	out, err := ck.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Digest != in.Digest || out.Round != in.Round || len(out.X) != len(in.X) ||
+		out.X[0] != in.X[0] || out.X[1] != in.X[1] {
+		t.Errorf("Load = %+v, want %+v", out, in)
+	}
+
+	// A later Save overwrites the earlier state.
+	in.Round = 43
+	in.X[0] = 0.5
+	if err := ck.Save(in); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+	if out, err = ck.Load(); err != nil || out.Round != 43 || out.X[0] != 0.5 {
+		t.Errorf("Load after overwrite = %+v, %v, want Round 43, X[0] 0.5", out, err)
+	}
+
+	if err := ck.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if st, err := ck.Load(); err != nil || st != nil {
+		t.Errorf("Load after Clear = %v, %v, want nil, nil", st, err)
+	}
+	if err := ck.Clear(); err != nil {
+		t.Errorf("Clear on an already-empty store: %v", err)
+	}
+}
+
+func TestMemCheckpointIsolatesState(t *testing.T) {
+	ck := NewMemCheckpoint()
+	in := &CheckpointState{Digest: wire.Digest{9}, Round: 7, X: []float64{0.5, 0.5}}
+	if err := ck.Save(in); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	in.X[0] = -1 // the store must have cloned, not aliased
+	out, err := ck.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.X[0] != 0.5 {
+		t.Errorf("stored X aliased the caller's slice: X[0] = %v", out.X[0])
+	}
+	out.X[1] = -1 // and the loaded copy must not alias the store
+	again, _ := ck.Load()
+	if again.X[1] != 0.5 {
+		t.Errorf("loaded X aliased the store: X[1] = %v", again.X[1])
+	}
+}
+
+// cancelAfter interrupts a run from inside its own checkpoint: after the
+// n-th successful Save it cancels the run's context. The cancellation
+// lands in the sequential gap between power rounds — no wire call is in
+// flight, so every connection stays usable and the same coordinator can
+// immediately run the resume leg.
+type cancelAfter struct {
+	Checkpoint
+	n      int
+	saves  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Save(st *CheckpointState) error {
+	if err := c.Checkpoint.Save(st); err != nil {
+		return err
+	}
+	c.saves++
+	if c.saves == c.n {
+		c.cancel()
+	}
+	return nil
+}
+
+// resumeFixture runs the reference (uninterrupted) ranking, then the
+// interrupt-at-round-n + resume pair on one coordinator, and returns
+// (reference result, resumed result). cfg must not carry a Checkpoint.
+func resumeFixture(t *testing.T, cfg Config, n int) (*Result, *Result) {
+	t.Helper()
+	web := rankableWeb()
+	_, a1 := startWorker(t)
+	_, a2 := startWorker(t)
+	c, err := Dial([]string{a1, a2})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ref, err := c.Rank(web, cfg)
+	if err != nil {
+		t.Fatalf("reference Rank: %v", err)
+	}
+	if ref.Stats.SiteRankRounds <= n+1 {
+		t.Fatalf("reference converged in %d rounds — too few to interrupt at round %d",
+			ref.Stats.SiteRankRounds, n)
+	}
+
+	store := NewFileCheckpoint(filepath.Join(t.TempDir(), "siterank.ckpt"))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Checkpoint = &cancelAfter{Checkpoint: store, n: n, cancel: cancel}
+	if _, err := c.RankCtx(ctx, web, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted Rank: err = %v, want context.Canceled", err)
+	}
+	st, err := store.Load()
+	if err != nil || st == nil {
+		t.Fatalf("checkpoint after the interrupt: %v, %v, want saved state", st, err)
+	}
+
+	cfg.Checkpoint = store
+	res, err := c.Rank(web, cfg)
+	if err != nil {
+		t.Fatalf("resumed Rank: %v", err)
+	}
+	if res.Stats.ResumedFromRound != st.Round {
+		t.Errorf("ResumedFromRound = %d, want %d (the checkpointed round)",
+			res.Stats.ResumedFromRound, st.Round)
+	}
+	if got, want := res.Stats.ResumedFromRound+res.Stats.SiteRankRounds, ref.Stats.SiteRankRounds; got != want {
+		t.Errorf("resumed %d + executed %d = %d rounds, want the uninterrupted total %d",
+			res.Stats.ResumedFromRound, res.Stats.SiteRankRounds, got, want)
+	}
+	// Success must consume the checkpoint: a later unrelated run on this
+	// store starts fresh.
+	if st, err := store.Load(); err != nil || st != nil {
+		t.Errorf("checkpoint survived a converged run: %v, %v", st, err)
+	}
+	return ref, res
+}
+
+// TestResumeMidSiteRank interrupts an unbatched distributed SiteRank
+// after 5 checkpointed rounds and resumes it on a fresh run. The resumed
+// iterate continues the exact float sequence (gob round-trips float64
+// losslessly and worker order is unchanged), so the final ranks are
+// bitwise identical to the uninterrupted run — L1 distance exactly 0.
+func TestResumeMidSiteRank(t *testing.T) {
+	ref, res := resumeFixture(t, Config{
+		DistributedSiteRank: true,
+		Tol:                 1e-12,
+		MaxIter:             2000,
+	}, 5)
+	if d := res.DocRank.L1Diff(ref.DocRank); d != 0 {
+		t.Errorf("‖resumed − uninterrupted‖₁ = %g, want exactly 0", d)
+	}
+	if d := res.SiteRank.L1Diff(ref.SiteRank); d != 0 {
+		t.Errorf("‖resumed − uninterrupted‖₁ on SiteRank = %g, want exactly 0", d)
+	}
+}
+
+// TestResumeBatchedSiteRank is the batched twin: checkpoints land on
+// exchange boundaries, so the resumed run re-enters the same K-round
+// cadence and the arithmetic regroups nowhere — bitwise equal again.
+func TestResumeBatchedSiteRank(t *testing.T) {
+	ref, res := resumeFixture(t, Config{
+		DistributedSiteRank: true,
+		BatchRounds:         4,
+		Tol:                 1e-12,
+		MaxIter:             2000,
+	}, 3)
+	if d := res.DocRank.L1Diff(ref.DocRank); d != 0 {
+		t.Errorf("‖resumed − uninterrupted‖₁ = %g, want exactly 0", d)
+	}
+	if res.Stats.ResumedFromRound%4 != 0 {
+		t.Errorf("batched checkpoint at round %d, want an exchange boundary (multiple of 4)",
+			res.Stats.ResumedFromRound)
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint pins the digest guard: a checkpoint
+// whose digest does not match this run's graph + configuration is
+// ignored and the iteration starts fresh.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	web := rankableWeb()
+	_, a1 := startWorker(t)
+	c, err := Dial([]string{a1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	store := NewMemCheckpoint()
+	if err := store.Save(&CheckpointState{
+		Digest: wire.Digest{0xde, 0xad},
+		Round:  3,
+		X:      []float64{0.5, 0.5},
+	}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	res, err := c.Rank(web, Config{DistributedSiteRank: true, Checkpoint: store})
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if res.Stats.ResumedFromRound != 0 {
+		t.Errorf("ResumedFromRound = %d, want 0: a foreign digest must not resume",
+			res.Stats.ResumedFromRound)
+	}
+}

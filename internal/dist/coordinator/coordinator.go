@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -55,6 +56,59 @@ type RetryPolicy struct {
 	// Worker-side errors (a live peer answering with Response.Err) are
 	// never retried — they mean a protocol or input bug, not a death.
 	MaxWorkerFailures int
+
+	// MaxRedials enables worker re-admission: a peer lost mid-run (or
+	// already broken when the run starts) is redialed in the background
+	// up to this many times with jittered exponential backoff, and on
+	// success is re-admitted into the run at the next safe point — its
+	// original sites rebalance back to it through the digest-cache
+	// negotiation (a warm rejoiner re-ships ~0 shard bytes). 0 keeps
+	// the pre-redial behavior: a lost worker stays lost for the run.
+	MaxRedials int
+	// RedialBase and RedialMax shape the backoff between redial
+	// attempts: attempt k sleeps base·2^k capped at max, scaled by a
+	// uniform jitter in [0.5, 1.5) so a fleet of coordinators does not
+	// thunder onto a restarting worker. Zero values select
+	// DefaultRedialBase and DefaultRedialMax.
+	RedialBase time.Duration
+	RedialMax  time.Duration
+}
+
+// DefaultRedialBase and DefaultRedialMax are the redial backoff bounds
+// when RetryPolicy leaves them zero: quick first probes (a restarting
+// worker is usually back in milliseconds on a LAN) backing off to a
+// respectful steady-state poll.
+const (
+	DefaultRedialBase = 50 * time.Millisecond
+	DefaultRedialMax  = 2 * time.Second
+)
+
+func (p RetryPolicy) redialBase() time.Duration {
+	if p.RedialBase <= 0 {
+		return DefaultRedialBase
+	}
+	return p.RedialBase
+}
+
+func (p RetryPolicy) redialMax() time.Duration {
+	if p.RedialMax <= 0 {
+		return DefaultRedialMax
+	}
+	return p.RedialMax
+}
+
+// backoffDelay returns the jittered exponential-backoff delay for the
+// 0-based attempt: base·2^attempt capped at max, scaled by a uniform
+// random factor in [0.5, 1.5).
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
 }
 
 // Config parameterizes one distributed ranking run.
@@ -115,6 +169,18 @@ type Config struct {
 	// Retry controls mid-run fault tolerance; the zero value disables
 	// recovery.
 	Retry RetryPolicy
+	// Checkpoint, when non-nil, persists the distributed SiteRank power
+	// iteration through the Checkpoint interface every CheckpointEvery
+	// rounds (plus once at convergence-independent points), so a
+	// coordinator killed mid-iteration resumes from the last saved
+	// round instead of recomputing: at run start a snapshot whose
+	// digest matches this computation seeds the iterate and round
+	// counter. On success the checkpoint is cleared. Ignored without
+	// DistributedSiteRank (the central solver is a single in-process
+	// call with nothing durable to resume).
+	Checkpoint Checkpoint
+	// CheckpointEvery is the save cadence in rounds (0 = every round).
+	CheckpointEvery int
 	// MaxInFlight, RejectOverload and Coalesce are serving knobs
 	// consumed by the root package's DistEngine, not by the
 	// coordinator itself (which already serializes runs on the wire):
@@ -155,6 +221,13 @@ func (c Config) batchRounds() int {
 	return c.BatchRounds
 }
 
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery < 1 {
+		return 1
+	}
+	return c.CheckpointEvery
+}
+
 // Stats breaks down the cost of a distributed run.
 type Stats struct {
 	// LoadDuration covers partitioning and shipping the site shards.
@@ -179,6 +252,20 @@ type Stats struct {
 	WorkersLost   int
 	Reassignments int
 	Retries       int
+	// WorkersRejoined counts peers re-admitted mid-run by the redial
+	// loop (RetryPolicy.MaxRedials); RedialAttempts counts every dial
+	// the loop made, successful or not; RejoinShardBytes estimates the
+	// shard payload bytes shipped in full while rebalancing sites back
+	// to rejoiners — ~0 when a rejoiner's digest cache is warm, which
+	// is the whole point of re-admission over replacement.
+	WorkersRejoined  int
+	RedialAttempts   int
+	RejoinShardBytes uint64
+	// ResumedFromRound is the checkpointed round this run's SiteRank
+	// continued from (0 = started fresh); SiteRankRounds then counts
+	// only the rounds this run executed, so resumed + executed equals
+	// the uninterrupted total.
+	ResumedFromRound int
 	// CacheHits counts shards (and site chains) the workers already
 	// held by digest and did not need shipped; CacheMisses counts the
 	// ones shipped in full. ShardBytesSaved estimates the payload bytes
@@ -361,6 +448,19 @@ func (r *remote) isBroken() bool {
 	return r.broken
 }
 
+// reconnect replaces a broken remote's connection with a freshly dialed
+// one and clears the poison mark; the old socket (if any) is closed.
+// The new gob streams start in sync — the peer sees a brand-new session.
+func (r *remote) reconnect(nc net.Conn, counters *wire.Counters) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.conn = wire.NewConn(nc, counters)
+	r.broken = false
+}
+
 // Coordinator drives a fleet of workers through ranking runs.
 type Coordinator struct {
 	counters wire.Counters
@@ -519,15 +619,48 @@ func (c *Coordinator) RefreshPrepared(prev, next *lmm.Ranker, changed []graph.Si
 	}
 }
 
+// dialAttempts is how many tries the initial bring-up dial gives each
+// worker address, with jittered backoff between them — enough to ride
+// out a fleet still binding its listeners, small enough that a dead
+// address still fails within the same order of magnitude as one
+// attempt (the backoff sleeps total well under a second).
+const (
+	dialAttempts    = 3
+	dialBackoffBase = 100 * time.Millisecond
+	dialBackoffMax  = 300 * time.Millisecond
+)
+
+// dialWithRetry dials addr through the same jittered-backoff shape the
+// mid-run redial loop uses: a connection-refused from a worker that is
+// 200 ms from finishing its bind should cost a short sleep, not the
+// whole cluster bring-up.
+func dialWithRetry(addr string, timeout time.Duration, attempts int) (net.Conn, error) {
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoffDelay(dialBackoffBase, dialBackoffMax, a-1))
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // Dial connects to every worker address (with DefaultDialTimeout per
-// address) and returns the connected coordinator. On any failure all
-// established connections are closed and an error naming the bad
+// address) and returns the connected coordinator. Each address gets a
+// few attempts with jittered backoff, so a fleet still starting up does
+// not fail a bring-up that would succeed 200 ms later. On any failure
+// all established connections are closed and an error naming the bad
 // address is returned.
 func Dial(addrs []string) (*Coordinator, error) {
 	return DialTimeout(addrs, DefaultDialTimeout)
 }
 
-// DialTimeout is Dial with an explicit per-address timeout.
+// DialTimeout is Dial with an explicit per-address timeout (per
+// attempt, not per address).
 func DialTimeout(addrs []string, timeout time.Duration) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("coordinator: no worker addresses")
@@ -537,7 +670,7 @@ func DialTimeout(addrs []string, timeout time.Duration) (*Coordinator, error) {
 	}
 	c := &Coordinator{}
 	for _, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, timeout)
+		conn, err := dialWithRetry(addr, timeout, dialAttempts)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("coordinator: dial worker %s: %w", addr, err)

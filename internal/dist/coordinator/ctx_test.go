@@ -2,62 +2,42 @@ package coordinator
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
-	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"lmmrank/internal/dist/chaos"
 	"lmmrank/internal/dist/wire"
 )
 
-// startHangingWorker is the cancellation twin of startFakeWorker: a
-// scripted peer that answers every request correctly until the first
-// request of kind hangOn arrives, then simply stops responding — the
-// connection stays open, no bytes move — until release is called. To
-// the coordinator this is a stalled peer: without a context (or the
-// per-call timeout) the exchange would block indefinitely.
+// startHangingWorker is the cancellation twin of the kill-scripted
+// fixtures: a real worker behind a chaos proxy whose script blocks at
+// the first request of kind hangOn — the connection stays open, no
+// bytes move — until release is called. To the coordinator this is a
+// stalled peer: without a context (or the per-call timeout) the
+// exchange would block indefinitely.
 func startHangingWorker(t *testing.T, hangOn wire.Kind) (addr string, release func()) {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatalf("listen: %v", err)
-	}
+	_, waddr := startWorker(t)
 	blocked := make(chan struct{})
 	var once sync.Once
 	release = func() { once.Do(func() { close(blocked) }) }
-	t.Cleanup(func() { release(); ln.Close() })
-
-	script := &fakeWorker{t: t}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go func(conn net.Conn) {
-				defer conn.Close()
-				enc := gob.NewEncoder(conn)
-				dec := gob.NewDecoder(conn)
-				shards := make(map[int]wire.SiteShard)
-				for {
-					var req wire.Request
-					if err := dec.Decode(&req); err != nil {
-						return
-					}
-					if req.Kind == hangOn {
-						<-blocked // the scripted stall
-						return
-					}
-					if err := enc.Encode(script.handle(shards, &req)); err != nil {
-						return
-					}
-				}
-			}(conn)
+	p, err := chaos.NewProxy(waddr, func(_ int, req *wire.Request) chaos.Decision {
+		if req.Kind == hangOn {
+			<-blocked // the scripted stall
+			return chaos.Decision{Action: chaos.Drop}
 		}
-	}()
-	return ln.Addr().String(), release
+		return chaos.Decision{Action: chaos.Pass}
+	})
+	if err != nil {
+		t.Fatalf("chaos.NewProxy: %v", err)
+	}
+	// LIFO cleanups: release the blocked script before the proxy's
+	// Close waits for its serving goroutines.
+	t.Cleanup(func() { p.Close() })
+	t.Cleanup(release)
+	return p.Addr(), release
 }
 
 // TestRankCtxPreCancelled pins the cheap path: an already-cancelled

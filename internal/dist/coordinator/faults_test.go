@@ -1,153 +1,57 @@
 package coordinator
 
 import (
-	"encoding/gob"
-	"net"
-	"sort"
-	"sync"
+	"sync/atomic"
 	"testing"
 
+	"lmmrank/internal/dist/chaos"
 	"lmmrank/internal/dist/wire"
 	"lmmrank/internal/graph"
 	"lmmrank/internal/lmm"
 )
 
-// fakeWorker is a scripted peer speaking just enough of the wire
-// protocol to die deterministically at a chosen request kind: it
-// answers every request correctly (including real local DocRanks and
-// power-round partials over the shards it was shipped) until the first
-// request of kind dieOn arrives, at which point it hangs up
-// mid-protocol — exactly what a peer crashing mid-run looks like to the
-// coordinator. It never claims cache hits, so every shard reaches it in
-// full.
-type fakeWorker struct {
-	t     *testing.T
-	ln    net.Listener
-	dieOn wire.Kind
-
-	mu   sync.Mutex
-	dead bool
+// killer pairs a chaos kill script with a record of whether it fired,
+// so tests can assert the scripted death actually happened (a test that
+// passes because the fault never triggered proves nothing).
+type killer struct {
+	script chaos.Script
+	fired  atomic.Bool
 }
 
-func startFakeWorker(t *testing.T, dieOn wire.Kind) (*fakeWorker, string) {
+func killAt(k wire.Kind) *killer {
+	kt := &killer{}
+	inner := chaos.KillAtKind(k)
+	kt.script = func(n int, req *wire.Request) chaos.Decision {
+		d := inner(n, req)
+		if d.Action == chaos.Drop {
+			kt.fired.Store(true)
+		}
+		return d
+	}
+	return kt
+}
+
+func (k *killer) died() bool { return k.fired.Load() }
+
+// proxiedWorker starts a real worker behind a chaos proxy running the
+// given script and returns the proxy address — the coordinator dials
+// the proxy, the worker process (and its digest cache) survives
+// whatever the script does to the connection.
+func proxiedWorker(t *testing.T, script chaos.Script) (*chaos.Proxy, string) {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	_, addr := startWorker(t)
+	p, err := chaos.NewProxy(addr, script)
 	if err != nil {
-		t.Fatalf("listen: %v", err)
+		t.Fatalf("chaos.NewProxy: %v", err)
 	}
-	f := &fakeWorker{t: t, ln: ln, dieOn: dieOn}
-	go f.serve()
-	t.Cleanup(func() { ln.Close() })
-	return f, ln.Addr().String()
+	t.Cleanup(func() { p.Close() })
+	return p, p.Addr()
 }
 
-// died reports whether the scripted death was triggered.
-func (f *fakeWorker) died() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.dead
-}
-
-func (f *fakeWorker) serve() {
-	for {
-		conn, err := f.ln.Accept()
-		if err != nil {
-			return
-		}
-		go f.serveConn(conn)
-	}
-}
-
-func (f *fakeWorker) serveConn(conn net.Conn) {
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	shards := make(map[int]wire.SiteShard)
-	for {
-		var req wire.Request
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		if req.Kind == f.dieOn {
-			f.mu.Lock()
-			f.dead = true
-			f.mu.Unlock()
-			return // hang up mid-protocol: the scripted death
-		}
-		resp := f.handle(shards, &req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-func (f *fakeWorker) handle(shards map[int]wire.SiteShard, req *wire.Request) *wire.Response {
-	switch req.Kind {
-	case wire.KindPing, wire.KindReset, wire.KindOffer:
-		// An empty Offer answer means "nothing cached" — full shipment.
-		return &wire.Response{}
-	case wire.KindLoad:
-		for _, s := range req.Shards {
-			shards[s.Site] = s
-		}
-		return &wire.Response{}
-	case wire.KindRankLocal:
-		sites := append([]int(nil), req.Sites...)
-		if len(sites) == 0 {
-			for s := range shards {
-				sites = append(sites, s)
-			}
-		}
-		sort.Ints(sites)
-		resp := &wire.Response{}
-		for _, site := range sites {
-			s, ok := shards[site]
-			if !ok {
-				return &wire.Response{Err: "fake: site not loaded"}
-			}
-			sub := graph.NewDigraph(s.NumDocs)
-			for _, e := range s.Edges {
-				sub.AddEdge(e.From, e.To, e.Weight)
-			}
-			sub.Dedupe()
-			scores, iters, err := lmm.LocalDocRank(sub, lmm.WebConfig{
-				Damping: req.Damping, Tol: req.Tol, MaxIter: req.MaxIter,
-			})
-			if err != nil {
-				return &wire.Response{Err: "fake: " + err.Error()}
-			}
-			resp.Local = append(resp.Local, wire.LocalRank{Site: site, Scores: scores, Iterations: iters})
-		}
-		return resp
-	case wire.KindPowerRound:
-		partial := make([]float64, req.NumSites)
-		var dang float64
-		sites := make([]int, 0, len(shards))
-		for s := range shards {
-			sites = append(sites, s)
-		}
-		sort.Ints(sites)
-		for _, site := range sites {
-			s := shards[site]
-			xs := req.X[site]
-			if len(s.RowCols) == 0 {
-				dang += xs
-				continue
-			}
-			for k, col := range s.RowCols {
-				partial[col] += xs * s.RowVals[k]
-			}
-		}
-		return &wire.Response{Partial: partial, DanglingMass: dang}
-	default:
-		return &wire.Response{Err: "fake: unsupported kind"}
-	}
-}
-
-// lossFixture builds a fleet of two real workers plus one scripted
-// fake, dials a coordinator, and returns the reference single-node
-// ranking of the test web.
-func lossFixture(t *testing.T, dieOn wire.Kind) (*Coordinator, *fakeWorker, *graph.DocGraph, *lmm.WebResult) {
+// lossFixture builds a fleet of two directly connected workers plus one
+// behind a kill-scripted chaos proxy, dials a coordinator, and returns
+// the reference single-node ranking of the test web.
+func lossFixture(t *testing.T, dieOn wire.Kind) (*Coordinator, *killer, *graph.DocGraph, *lmm.WebResult) {
 	t.Helper()
 	web := rankableWeb()
 	ref, err := lmm.LayeredDocRank(web, lmm.WebConfig{})
@@ -156,13 +60,14 @@ func lossFixture(t *testing.T, dieOn wire.Kind) (*Coordinator, *fakeWorker, *gra
 	}
 	_, a1 := startWorker(t)
 	_, a2 := startWorker(t)
-	fake, a3 := startFakeWorker(t, dieOn)
+	kt := killAt(dieOn)
+	_, a3 := proxiedWorker(t, kt.script)
 	c, err := Dial([]string{a1, a2, a3})
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
 	t.Cleanup(func() { c.Close() })
-	return c, fake, web, ref
+	return c, kt, web, ref
 }
 
 // checkRecovery asserts the post-loss result still matches the
@@ -193,12 +98,12 @@ func checkRecovery(t *testing.T, res *Result, ref *lmm.WebResult, wantReassign b
 // shipment: the run must reassign its sites and finish with ranks
 // identical to single-node.
 func TestRecoversFromLossDuringLoad(t *testing.T) {
-	c, fake, web, ref := lossFixture(t, wire.KindLoad)
+	c, kt, web, ref := lossFixture(t, wire.KindLoad)
 	res, err := c.Rank(web, Config{Retry: RetryPolicy{MaxWorkerFailures: 1}})
 	if err != nil {
 		t.Fatalf("Rank with a peer dying at load: %v", err)
 	}
-	if !fake.died() {
+	if !kt.died() {
 		t.Fatal("scripted worker never reached its death trigger")
 	}
 	checkRecovery(t, res, ref, true)
@@ -208,12 +113,12 @@ func TestRecoversFromLossDuringLoad(t *testing.T) {
 // after it accepted its shards but before returning any ranks. Only its
 // sites are re-ranked, on the survivors that inherited them.
 func TestRecoversFromLossDuringLocalRank(t *testing.T) {
-	c, fake, web, ref := lossFixture(t, wire.KindRankLocal)
+	c, kt, web, ref := lossFixture(t, wire.KindRankLocal)
 	res, err := c.Rank(web, Config{Retry: RetryPolicy{MaxWorkerFailures: 1}})
 	if err != nil {
 		t.Fatalf("Rank with a peer dying at local rank: %v", err)
 	}
-	if !fake.died() {
+	if !kt.died() {
 		t.Fatal("scripted worker never reached its death trigger")
 	}
 	checkRecovery(t, res, ref, true)
@@ -223,7 +128,7 @@ func TestRecoversFromLossDuringLocalRank(t *testing.T) {
 // iteration: its chain rows ride inside the shards, so reassignment
 // restores full row coverage and the round is redone.
 func TestRecoversFromLossDuringPowerRound(t *testing.T) {
-	c, fake, web, ref := lossFixture(t, wire.KindPowerRound)
+	c, kt, web, ref := lossFixture(t, wire.KindPowerRound)
 	res, err := c.Rank(web, Config{
 		DistributedSiteRank: true,
 		Retry:               RetryPolicy{MaxWorkerFailures: 1},
@@ -231,7 +136,7 @@ func TestRecoversFromLossDuringPowerRound(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Rank with a peer dying at a power round: %v", err)
 	}
-	if !fake.died() {
+	if !kt.died() {
 		t.Fatal("scripted worker never reached its death trigger")
 	}
 	checkRecovery(t, res, ref, true)
@@ -246,9 +151,10 @@ func TestFailsOverBatchedRounds(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reference: %v", err)
 	}
-	// The fake must be fleet index 0 so the batch rotation hits it
-	// first.
-	fake, a0 := startFakeWorker(t, wire.KindBatchRounds)
+	// The scripted peer must be fleet index 0 so the batch rotation
+	// hits it first.
+	kt := killAt(wire.KindBatchRounds)
+	_, a0 := proxiedWorker(t, kt.script)
 	_, a1 := startWorker(t)
 	_, a2 := startWorker(t)
 	c, err := Dial([]string{a0, a1, a2})
@@ -264,7 +170,7 @@ func TestFailsOverBatchedRounds(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Rank with a peer dying at a batched round: %v", err)
 	}
-	if !fake.died() {
+	if !kt.died() {
 		t.Fatal("scripted worker never reached its death trigger")
 	}
 	checkRecovery(t, res, ref, false)
@@ -287,8 +193,8 @@ func TestLossWithoutRetryBudgetFails(t *testing.T) {
 func TestSecondLossExhaustsBudget(t *testing.T) {
 	web := rankableWeb()
 	_, a1 := startWorker(t)
-	_, a2 := startFakeWorker(t, wire.KindRankLocal)
-	_, a3 := startFakeWorker(t, wire.KindRankLocal)
+	_, a2 := proxiedWorker(t, killAt(wire.KindRankLocal).script)
+	_, a3 := proxiedWorker(t, killAt(wire.KindRankLocal).script)
 	c, err := Dial([]string{a1, a2, a3})
 	if err != nil {
 		t.Fatalf("Dial: %v", err)

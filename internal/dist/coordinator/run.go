@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -55,9 +56,29 @@ type run struct {
 	hasChain    []bool
 	budget      int
 
+	// Re-admission (RetryPolicy.MaxRedials > 0). A redialer goroutine
+	// per lost worker delivers fresh connections on rejoinCh; the
+	// sequential phase code admits them at loop heads — safe points
+	// where no partial results are in flight. redialing marks workers
+	// with an active redialer (sequential access only); rejoining marks
+	// workers mid-readmission for shipTo's byte accounting (r.mu).
+	rejoinCh   chan rejoin
+	redialStop chan struct{}
+	redialWG   sync.WaitGroup
+	redialing  []bool
+	rejoining  map[int]bool
+	inReadmit  bool
+
 	// mu guards stats mutations from the concurrent per-worker
-	// shipments (phase bookkeeping is otherwise sequential).
+	// shipments (phase bookkeeping is otherwise sequential), and the
+	// rejoining set they read.
 	mu sync.Mutex
+}
+
+// rejoin is one successfully redialed worker awaiting re-admission.
+type rejoin struct {
+	idx  int
+	conn net.Conn
 }
 
 // rankPrepared runs one ranking; the caller holds runMu. memoize marks
@@ -131,6 +152,11 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 	if r.nAlive == 0 {
 		return nil, errors.New("coordinator: no live workers (every connection is broken)")
 	}
+	// Arm re-admission before the first shipment: a worker that died in
+	// an earlier run (or dies in this one) is redialed in the background
+	// and folded back in at the next phase boundary.
+	r.startRedialers()
+	defer r.stopRedialers()
 
 	// Partition and ship: shards balanced by page count over the live
 	// fleet, delivered through the workers' digest caches.
@@ -355,6 +381,7 @@ func (r *run) lose(idx int, cause error, reassign bool) (map[int]struct{}, error
 	if r.nAlive == 0 {
 		return nil, fmt.Errorf("coordinator: all workers lost: %w", cause)
 	}
+	r.spawnRedialer(idx)
 	if !reassign {
 		return nil, nil
 	}
@@ -371,6 +398,228 @@ func (r *run) lose(idx int, cause error, reassign bool) (map[int]struct{}, error
 	}
 	r.load[idx] = 0
 	return moved, nil
+}
+
+// startRedialers arms the re-admission machinery when the policy asks
+// for it, spawning a redialer for every worker already broken when the
+// run began (a peer that died in a previous run gets its chance back
+// too, not just mid-run casualties).
+func (r *run) startRedialers() {
+	if r.cfg.Retry.MaxRedials <= 0 {
+		return
+	}
+	r.rejoinCh = make(chan rejoin, len(r.c.workers))
+	r.redialStop = make(chan struct{})
+	r.redialing = make([]bool, len(r.c.workers))
+	r.rejoining = make(map[int]bool)
+	for i, a := range r.alive {
+		if !a {
+			r.spawnRedialer(i)
+		}
+	}
+}
+
+// spawnRedialer starts the background redial loop for a lost worker:
+// jittered exponential backoff between attempts, at most MaxRedials
+// attempts, delivering at most one fresh connection to rejoinCh. Called
+// only from the sequential phase code (run start, lose, readmit).
+func (r *run) spawnRedialer(idx int) {
+	if r.rejoinCh == nil || r.redialing[idx] {
+		return
+	}
+	r.redialing[idx] = true
+	addr := r.c.workers[idx].addr
+	pol := r.cfg.Retry
+	r.redialWG.Add(1)
+	go func() {
+		defer r.redialWG.Done()
+		for attempt := 0; attempt < pol.MaxRedials; attempt++ {
+			select {
+			case <-time.After(backoffDelay(pol.redialBase(), pol.redialMax(), attempt)):
+			case <-r.redialStop:
+				return
+			case <-r.ctx.Done():
+				return
+			}
+			r.mu.Lock()
+			r.stats.RedialAttempts++
+			r.mu.Unlock()
+			conn, err := net.DialTimeout("tcp", addr, DefaultDialTimeout)
+			if err != nil {
+				continue
+			}
+			// The channel holds one slot per worker and a worker has at
+			// most one redialer, so this send never blocks.
+			select {
+			case r.rejoinCh <- rejoin{idx: idx, conn: conn}:
+			default:
+				conn.Close()
+			}
+			return
+		}
+	}()
+}
+
+// stopRedialers tears the re-admission machinery down at run end. A
+// connection that arrived too late to be admitted into this run is not
+// wasted: it is installed on the coordinator's remote, so the next run
+// starts with the peer alive again.
+func (r *run) stopRedialers() {
+	if r.rejoinCh == nil {
+		return
+	}
+	close(r.redialStop)
+	r.redialWG.Wait()
+	for {
+		select {
+		case rj := <-r.rejoinCh:
+			r.c.mu.Lock()
+			closed := r.c.closed
+			r.c.mu.Unlock()
+			if closed {
+				rj.conn.Close()
+			} else {
+				r.c.workers[rj.idx].reconnect(rj.conn, &r.c.counters)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// maybeReadmit admits any rejoined workers waiting on the channel. It
+// is called at phase loop heads — the safe points where no partial
+// results are in flight — and never reentrantly (a readmission's own
+// shipping must not trigger another).
+func (r *run) maybeReadmit() error {
+	if r.rejoinCh == nil || r.inReadmit {
+		return nil
+	}
+	r.inReadmit = true
+	defer func() { r.inReadmit = false }()
+	for {
+		select {
+		case rj := <-r.rejoinCh:
+			if err := r.readmit(rj); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// readmit re-admits one redialed worker mid-run: probe the fresh
+// connection, restore the worker to the fleet view, rebalance its
+// ideal share of sites back to it (delivered through the digest-cache
+// negotiation — a warm rejoiner re-ships ~0 bytes), and unload the
+// moved sites from their interim owners so the unbatched power round
+// never reduces a chain row twice.
+func (r *run) readmit(rj rejoin) error {
+	idx := rj.idx
+	w := r.c.workers[idx]
+	w.reconnect(rj.conn, &r.c.counters)
+	// Probe before committing: a connection that dies immediately costs
+	// a respawned redialer, not a loss-budget charge.
+	if _, err := w.call(r.ctx, &wire.Request{Kind: wire.KindPing}, &r.c.counters, r.c.callTimeout()); err != nil {
+		if errors.Is(err, errLost) {
+			r.redialing[idx] = false
+			r.spawnRedialer(idx)
+			return nil
+		}
+		return err
+	}
+	r.redialing[idx] = false
+	r.alive[idx] = true
+	r.nAlive++
+	r.initialized[idx] = false
+	r.hasChain[idx] = false
+	r.load[idx] = 0
+	r.stats.WorkersRejoined++
+
+	// Rebalance back: recompute the ideal LPT assignment over the
+	// restored fleet (fresh loads) and move exactly the sites whose
+	// ideal owner is the rejoiner. LPT is deterministic, so when the
+	// fleet's liveness returns to what it was at run start these are
+	// precisely the sites the rejoiner held before it died — warm in
+	// its digest cache.
+	ideal := assignSites(r.sizes, r.aliveIdxs(), make([]int, len(r.c.workers)))
+	moved := make(map[int]struct{})
+	prevOwner := make(map[int][]int)
+	for s := 0; s < r.ns; s++ {
+		if ideal[s] != idx || r.owner[s] == idx {
+			continue
+		}
+		prev := r.owner[s]
+		prevOwner[prev] = append(prevOwner[prev], s)
+		r.load[prev] -= r.sizes[s]
+		r.owner[s] = idx
+		r.load[idx] += r.sizes[s]
+		moved[s] = struct{}{}
+	}
+	r.mu.Lock()
+	r.rejoining[idx] = true
+	r.mu.Unlock()
+	// ship also initializes a shardless rejoiner (Reset + Load carrying
+	// the dimension, and the chain when batching), so it can serve
+	// power rounds even when the ideal assignment hands it nothing.
+	err := r.ship(moved)
+	r.mu.Lock()
+	delete(r.rejoining, idx)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return r.unloadFrom(prevOwner)
+}
+
+// unloadFrom drops the rebalanced-back sites from their interim
+// owners' sessions (the digest caches keep the shards). A worker lost
+// during its unload goes through the normal loss path — its remaining
+// sites reassign and re-ship. The prevOwner map was captured before
+// the rejoin ship, and that ship can itself lose the rejoiner and hand
+// a moved site straight back to its interim owner — so each site is
+// re-checked against the current assignment and never unloaded from
+// the worker that owns it now.
+func (r *run) unloadFrom(prevOwner map[int][]int) error {
+	idxs := make([]int, 0, len(prevOwner))
+	for idx := range prevOwner {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		if !r.alive[idx] {
+			continue // a dead session is never polled; nothing to unload
+		}
+		sites := make([]int, 0, len(prevOwner[idx]))
+		for _, s := range prevOwner[idx] {
+			if r.owner[s] != idx {
+				sites = append(sites, s)
+			}
+		}
+		if len(sites) == 0 {
+			continue
+		}
+		sort.Ints(sites)
+		_, err := r.c.workers[idx].call(r.ctx, &wire.Request{Kind: wire.KindUnload, Sites: sites}, &r.c.counters, r.c.callTimeout())
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errLost) {
+			return err
+		}
+		moved, lerr := r.lose(idx, err, true)
+		if lerr != nil {
+			return lerr
+		}
+		if len(moved) > 0 {
+			if serr := r.ship(moved); serr != nil {
+				return serr
+			}
+		}
+		r.stats.Retries++
+	}
+	return nil
 }
 
 // ship delivers the needed sites to their current owners and leaves
@@ -525,6 +774,16 @@ func (r *run) shipTo(idx int, sites []int) error {
 	r.stats.CacheHits += len(cached) - len(resp.Missing)
 	r.stats.ShardsReshipped += len(full) + len(resp.Missing)
 	r.stats.ShardsReused += len(cached) - len(resp.Missing)
+	if r.rejoining[idx] {
+		// Shard payloads this re-admission had to move in full — ~0 for
+		// a warm rejoiner, whose shards all hit its digest cache.
+		for i := range full {
+			r.stats.RejoinShardBytes += full[i].EstWireSize()
+		}
+		for _, s := range resp.Missing {
+			r.stats.RejoinShardBytes += r.shards[s].EstWireSize()
+		}
+	}
 	missing := make(map[int]bool, len(resp.Missing))
 	for _, s := range resp.Missing {
 		missing[s] = true
@@ -604,6 +863,9 @@ func (r *run) localPhase(dg *graph.DocGraph) ([]matrix.Vector, []int, error) {
 	done := make([]bool, r.ns)
 	for {
 		if err := r.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if err := r.maybeReadmit(); err != nil {
 			return nil, nil, err
 		}
 		targets := make(map[int][]int)
@@ -731,16 +993,22 @@ func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
 	maxIter := r.cfg.maxIter()
 	uniform := 1.0 / float64(r.ns)
 
-	x := matrix.Uniform(r.ns)
+	x, startRound, ckpt, ckptDigest, err := r.resumeSiteRank(maxIter)
+	if err != nil {
+		return nil, 0, err
+	}
 	next := matrix.NewVector(r.ns)
 	partials := make([][]float64, len(r.c.workers))
 	dangling := make([]float64, len(r.c.workers))
 
-	for round := 1; round <= maxIter; round++ {
+	for round := startRound + 1; round <= maxIter; round++ {
 		var idxs []int
 		for {
 			if err := r.ctx.Err(); err != nil {
-				return nil, round, err
+				return nil, round - startRound, err
+			}
+			if err := r.maybeReadmit(); err != nil {
+				return nil, round - startRound, err
 			}
 			idxs = r.aliveIdxs()
 			resps := make([]*wire.Response, len(idxs))
@@ -819,11 +1087,47 @@ func (r *run) distributedSiteRank() (matrix.Vector, int, error) {
 		residual := next.L1Diff(x)
 		x, next = next, x
 		if residual <= tol {
-			return x, round, nil
+			if ckpt != nil {
+				if err := ckpt.Clear(); err != nil {
+					return nil, round - startRound, err
+				}
+			}
+			return x, round - startRound, nil
+		}
+		if ckpt != nil && round%r.cfg.checkpointEvery() == 0 {
+			if err := ckpt.Save(&CheckpointState{Digest: ckptDigest, Round: round, X: x}); err != nil {
+				return nil, round - startRound, err
+			}
 		}
 	}
-	return x, maxIter, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
+	return x, maxIter - startRound, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
 		matrix.ErrNotConverged, maxIter)
+}
+
+// resumeSiteRank seeds the site-layer power iteration: from a
+// checkpointed snapshot when one exists and its digest matches this
+// computation — the resumed run then continues the exact float sequence
+// the interrupted run was producing — or from the uniform vector. A
+// snapshot from a different graph, mode or parameterization (digest
+// mismatch), a malformed one, or one at or past the round budget is
+// ignored rather than trusted.
+func (r *run) resumeSiteRank(maxIter int) (x matrix.Vector, startRound int, ckpt Checkpoint, digest wire.Digest, err error) {
+	x = matrix.Uniform(r.ns)
+	if r.cfg.Checkpoint == nil {
+		return x, 0, nil, digest, nil
+	}
+	ckpt = r.cfg.Checkpoint
+	digest = r.checkpointDigest()
+	st, err := ckpt.Load()
+	if err != nil {
+		return nil, 0, nil, digest, err
+	}
+	if st != nil && st.Digest == digest && st.valid() && len(st.X) == r.ns && st.Round < maxIter {
+		x = append(matrix.Vector(nil), st.X...)
+		startRound = st.Round
+		r.stats.ResumedFromRound = st.Round
+	}
+	return x, startRound, ckpt, digest, nil
 }
 
 // batchedSiteRank drives the round-batched SiteRank: each exchange asks
@@ -836,13 +1140,19 @@ func (r *run) batchedSiteRank() (matrix.Vector, int, error) {
 	maxIter := r.cfg.maxIter()
 	batch := r.cfg.batchRounds()
 
-	x := matrix.Uniform(r.ns)
-	rounds := 0
+	x, startRound, ckpt, ckptDigest, err := r.resumeSiteRank(maxIter)
+	if err != nil {
+		return nil, 0, err
+	}
+	rounds := startRound
 	exchanges := 0
 	cursor := 0
 	for rounds < maxIter {
 		if err := r.ctx.Err(); err != nil {
-			return nil, rounds, err
+			return nil, rounds - startRound, err
+		}
+		if err := r.maybeReadmit(); err != nil {
+			return nil, rounds - startRound, err
 		}
 		k := batch
 		if rounds+k > maxIter {
@@ -888,13 +1198,26 @@ func (r *run) batchedSiteRank() (matrix.Vector, int, error) {
 		x = resp.X
 		rounds += resp.Rounds
 		if resp.Converged {
-			r.stats.BatchMessagesSaved = rounds*r.nAlive - exchanges
-			return x, rounds, nil
+			if ckpt != nil {
+				if err := ckpt.Clear(); err != nil {
+					return nil, rounds - startRound, err
+				}
+			}
+			r.stats.BatchMessagesSaved = (rounds-startRound)*r.nAlive - exchanges
+			return x, rounds - startRound, nil
+		}
+		// One exchange is the batched save cadence: it already covers up
+		// to BatchRounds rounds, so CheckpointEvery's round granularity
+		// is subsumed by the exchange grain.
+		if ckpt != nil {
+			if err := ckpt.Save(&CheckpointState{Digest: ckptDigest, Round: rounds, X: x}); err != nil {
+				return nil, rounds - startRound, err
+			}
 		}
 		cursor++
 	}
-	r.stats.BatchMessagesSaved = rounds*r.nAlive - exchanges
-	return x, maxIter, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
+	r.stats.BatchMessagesSaved = (rounds-startRound)*r.nAlive - exchanges
+	return x, maxIter - startRound, fmt.Errorf("coordinator: distributed siterank: %w after %d rounds",
 		matrix.ErrNotConverged, maxIter)
 }
 

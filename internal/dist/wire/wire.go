@@ -59,6 +59,13 @@ const (
 	// returns the resulting iterate — round batching, trading one larger
 	// chain shipment at load time for K× fewer SiteRank exchanges.
 	KindBatchRounds
+	// KindUnload removes the sites listed in Request.Sites from the
+	// worker's session (the digest cache keeps their shards — a later
+	// Offer still hits). The coordinator issues it when re-admitting a
+	// rejoined worker: sites rebalanced back to the rejoiner must leave
+	// their interim owner's session, or KindPowerRound — which covers
+	// every loaded shard — would count those chain rows twice.
+	KindUnload
 )
 
 // MaxShardDocs bounds the aggregate claimed document count of one Load
@@ -167,7 +174,8 @@ type Request struct {
 	V []float64
 	// Sites restricts KindRankLocal to the listed sites (empty = every
 	// loaded site) — the coordinator re-ranks only reassigned sites after
-	// a worker loss.
+	// a worker loss — and names the sites KindUnload drops from the
+	// session when shards rebalance back to a rejoined worker.
 	Sites []int
 	// Rounds asks KindBatchRounds for up to this many power rounds.
 	Rounds int

@@ -1,0 +1,99 @@
+package worker
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"lmmrank/internal/dist/wire"
+)
+
+// TestShutdownDrainsIdleConnections is the core drain guarantee: a
+// graceful Shutdown must complete even while clients hold open, idle
+// connections (each parked in a blocking Decode on the worker side) —
+// the worker fails those reads, closes the sessions and returns.
+func TestShutdownDrainsIdleConnections(t *testing.T) {
+	w := New()
+	addr, err := w.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		dial(t, addr) // idle protocol connections, never send a byte
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with idle connections: %v", err)
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Error("worker still accepting after Shutdown")
+	}
+	if err := w.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+	if _, err := w.Start("127.0.0.1:0"); err == nil {
+		t.Error("Start after Shutdown succeeded")
+	}
+}
+
+// TestShutdownCompletesInFlightExchange pins the "stop accepting, finish
+// what you started" half: a request already decoded when Shutdown
+// begins still gets its response before the connection closes.
+func TestShutdownCompletesInFlightExchange(t *testing.T) {
+	w := New()
+	addr, err := w.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	enc, dec, _ := dial(t, addr)
+	if err := enc.Encode(&wire.Request{Kind: wire.KindPing}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Give the worker time to decode the request so the drain finds it
+	// in flight rather than parked in the pre-request read.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	var resp wire.Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("the in-flight ping's response was lost to the drain: %v", err)
+	}
+	if resp.Err != "" {
+		t.Errorf("ping during drain: %s", resp.Err)
+	}
+	// The drained connection is done: the next request gets no answer.
+	if err := enc.Encode(&wire.Request{Kind: wire.KindPing}); err == nil {
+		var again wire.Response
+		if err := dec.Decode(&again); err == nil {
+			t.Error("worker answered a request after draining the connection")
+		}
+	}
+}
+
+// TestShutdownExpiredContextForcesClose covers the impatient path: a
+// context that gives the drain no time falls back to a hard Close.
+func TestShutdownExpiredContextForcesClose(t *testing.T) {
+	w := New()
+	addr, err := w.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	dial(t, addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Even a pre-cancelled context must leave the worker fully stopped.
+	_ = w.Shutdown(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := net.Dial("tcp", addr); err != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("worker still accepting after Shutdown with an expired context")
+}

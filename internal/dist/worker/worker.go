@@ -14,6 +14,7 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -102,10 +103,11 @@ type Worker struct {
 	counters wire.Counters
 	cache    *shardCache
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
 
 	wg sync.WaitGroup
 }
@@ -124,7 +126,7 @@ func New() *Worker {
 func (w *Worker) Start(listen string) (string, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.closed {
+	if w.closed || w.draining {
 		return "", fmt.Errorf("worker: already closed")
 	}
 	if w.ln != nil {
@@ -167,6 +169,56 @@ func (w *Worker) Close() error {
 	return err
 }
 
+// Shutdown stops the worker gracefully: it closes the listener (no new
+// coordinators), lets every in-flight exchange finish and its response
+// reach the wire, then hangs up the drained connections. Sessions
+// blocked waiting for their coordinator's next request are unblocked
+// immediately — there is nothing in flight to preserve. If ctx expires
+// before the drain completes, Shutdown falls back to the abrupt Close
+// and returns ctx.Err(). Calling Shutdown or Close again afterward is a
+// no-op.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.mu.Lock()
+	if w.closed || w.draining {
+		w.mu.Unlock()
+		return nil
+	}
+	w.draining = true
+	ln := w.ln
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	// A past read deadline fails the next blocking read without touching
+	// writes: a handler mid-request still delivers its response, and the
+	// serve loop exits at its next Decode (or on its post-response
+	// draining check) instead of waiting for the coordinator to hang up.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Unix(1, 0))
+	}
+	done := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		w.mu.Lock()
+		w.closed = true
+		w.mu.Unlock()
+		return err
+	case <-ctx.Done():
+		w.Close()
+		return ctx.Err()
+	}
+}
+
 // Stats returns a snapshot of the transport counters and cache gauges.
 func (w *Worker) Stats() Stats {
 	entries, docs := w.cache.gauges()
@@ -186,7 +238,7 @@ func (w *Worker) acceptLoop(ln net.Listener) {
 		conn, err := ln.Accept()
 		if err != nil {
 			w.mu.Lock()
-			closed := w.closed
+			closed := w.closed || w.draining
 			w.mu.Unlock()
 			if closed {
 				return
@@ -202,7 +254,7 @@ func (w *Worker) acceptLoop(ln net.Listener) {
 		}
 		backoff = 5 * time.Millisecond
 		w.mu.Lock()
-		if w.closed {
+		if w.closed || w.draining {
 			w.mu.Unlock()
 			conn.Close()
 			return
@@ -238,6 +290,14 @@ func (w *Worker) serveConn(conn net.Conn) {
 		w.counters.AddMessage()
 		resp := w.safeHandle(sess, &req)
 		if err := wc.Enc.Encode(resp); err != nil {
+			return
+		}
+		w.mu.Lock()
+		draining := w.draining
+		w.mu.Unlock()
+		if draining {
+			// Graceful shutdown: the in-flight exchange just completed;
+			// end the session instead of accepting another request.
 			return
 		}
 	}
@@ -276,6 +336,8 @@ func (w *Worker) handle(sess *session, req *wire.Request) *wire.Response {
 		return handlePowerRound(sess, req)
 	case wire.KindBatchRounds:
 		return handleBatchRounds(sess, req)
+	case wire.KindUnload:
+		return handleUnload(sess, req)
 	default:
 		return &wire.Response{Err: fmt.Sprintf("worker: unknown request kind %d", req.Kind)}
 	}
@@ -501,6 +563,24 @@ func (w *Worker) handleLoad(sess *session, req *wire.Request) *wire.Response {
 	}
 	sess.sorted = nil
 	return resp
+}
+
+// handleUnload drops the listed sites from this session; the digest
+// cache keeps their shards, so a later Offer for the same content still
+// hits. The coordinator unloads sites it rebalances back to a rejoined
+// worker — KindPowerRound covers every loaded shard, so a site left in
+// two sessions would have its chain row reduced twice. Sites not loaded
+// are ignored (a loss during readmission can legitimately retry an
+// unload that partially applied).
+func handleUnload(sess *session, req *wire.Request) *wire.Response {
+	for _, s := range req.Sites {
+		if sh, ok := sess.shards[s]; ok {
+			sess.totalDocs -= sh.entry.numDocs
+			delete(sess.shards, s)
+			sess.sorted = nil
+		}
+	}
+	return &wire.Response{}
 }
 
 // handleRankLocal runs step 3 of §3.2 for the requested sites (all

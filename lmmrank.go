@@ -79,7 +79,23 @@ type (
 	// wire traffic, losses/reassignments/retries, cache hits and bytes
 	// saved, and SiteRank messages saved by round batching.
 	DistStats = coordinator.Stats
+	// DistCheckpoint persists the distributed SiteRank iterate between
+	// rounds so a restarted coordinator resumes instead of recomputing.
+	DistCheckpoint = coordinator.Checkpoint
+	// DistCheckpointState is one saved iterate: round, vector, and the
+	// digest binding it to its graph + configuration.
+	DistCheckpointState = coordinator.CheckpointState
 )
+
+// NewFileDistCheckpoint stores SiteRank checkpoints in a file with
+// atomic replace — the store a production coordinator restart reads.
+func NewFileDistCheckpoint(path string) DistCheckpoint {
+	return coordinator.NewFileCheckpoint(path)
+}
+
+// NewMemDistCheckpoint stores SiteRank checkpoints in process memory —
+// for tests and single-process experiments.
+func NewMemDistCheckpoint() DistCheckpoint { return coordinator.NewMemCheckpoint() }
 
 // Errors re-exported for errors.Is checks.
 var (
