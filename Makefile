@@ -9,13 +9,13 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: ci check fmt vet build test race chaos bench bench-smoke docs
+.PHONY: ci check fmt vet build test race chaos cover bench bench-smoke docs
 
 # The umbrella target CI calls: the fast gate, the race detector over
 # the concurrency-heavy packages, the deterministic-seed fault sweep,
-# and a 1x smoke pass over every benchmark (so the E-series cannot rot
-# between bench sessions).
-ci: check race chaos bench-smoke
+# the distributed-runtime coverage floor, and a 1x smoke pass over
+# every benchmark (so the E-series cannot rot between bench sessions).
+ci: check race chaos cover bench-smoke
 
 check: fmt vet build test docs
 
@@ -63,6 +63,23 @@ docs:
 	if [ $$fail -ne 0 ]; then \
 		echo "every package needs a '// Package ...' or '// Command ...' godoc comment"; exit 1; \
 	fi
+
+# Coverage floor on the distributed runtime: the merged statement
+# coverage of every internal/dist package's tests over the whole
+# internal/dist tree must not fall below COVER_FLOOR percent. The tree
+# measured 86.5% when the gate was introduced; the floor leaves
+# headroom for noise without letting the protocol tests rot.
+COVER_FLOOR   ?= 80
+COVER_PROFILE ?= cover.out
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) -coverpkg=./internal/dist/... \
+	    -timeout 10m ./internal/dist/... > /dev/null
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f $(COVER_PROFILE); \
+	echo "internal/dist coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
+		echo "internal/dist coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; \
+	}
 
 # Quick smoke pass over every benchmark in the module (bounded like
 # `race`, for the same CI reason).

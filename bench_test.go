@@ -161,6 +161,39 @@ func BenchmarkE7Distributed(b *testing.B) {
 	}
 }
 
+// BenchmarkE11AsyncSiteRank compares the barrier-free asynchronous
+// SiteRank protocol (concurrent and seeded-ordered schedules) against
+// the synchronous barrier rounds on the same loopback fleet. Loopback
+// has no straggler, so this measures the protocols' overhead floor;
+// the chaos straggler tests pin the win when a worker is slow.
+func BenchmarkE11AsyncSiteRank(b *testing.B) {
+	web := benchWeb()
+	cfgs := []struct {
+		name string
+		cfg  DistConfig
+	}{
+		{"sync", DistConfig{DistributedSiteRank: true, Tol: 1e-9}},
+		{"async", DistConfig{SiteRank: SiteRankAsync, Tol: 1e-9}},
+		{"asyncOrdered", DistConfig{SiteRank: SiteRankAsync, AsyncOrdered: true, AsyncSeed: 1, Tol: 1e-9}},
+	}
+	for _, tc := range cfgs {
+		b.Run(tc.name, func(b *testing.B) {
+			cl, err := StartCluster(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Coord.Rank(web.Graph, tc.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE8Personalization measures the two-layer personalized pipeline
 // against the uniform one.
 func BenchmarkE8Personalization(b *testing.B) {

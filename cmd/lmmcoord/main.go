@@ -7,6 +7,8 @@
 //
 //	lmmcoord -graph campus.graph -workers host1:7100,host2:7100
 //	         [-format text|gob] [-top 15] [-distributed-siterank]
+//	         [-siterank auto|central|sync|batched|async]
+//	         [-async-ordered] [-async-seed 42]
 //	         [-batch-rounds 4] [-max-worker-failures 1] [-max-redials 0]
 //	         [-checkpoint siterank.ckpt] [-resume] [-runs 2]
 //	         [-compress] [-timeout 30s]
@@ -19,7 +21,12 @@
 // jittered exponential backoff and re-admits them mid-run, rebalancing
 // their shards back (near-zero bytes when their caches are still warm).
 // -batch-rounds exchanges several SiteRank power rounds per message
-// when -distributed-siterank is on. -checkpoint persists the SiteRank
+// when -distributed-siterank is on. -siterank selects the SiteRank mode
+// explicitly; "async" is the barrier-free protocol (workers sweep
+// continuously, the coordinator merges in arrival order and confirms
+// with synchronous verification rounds), and -async-ordered with
+// -async-seed makes its schedule deterministic and the SiteRank bitwise
+// reproducible. -checkpoint persists the SiteRank
 // iterate to a file after every round; a coordinator restarted with
 // -resume picks the iteration up from the last checkpointed round
 // instead of round zero (without -resume a stale checkpoint is cleared
@@ -57,6 +64,9 @@ func run() error {
 		top       = flag.Int("top", 15, "table length")
 		damping   = flag.Float64("damping", 0.85, "damping factor / gatekeeper α")
 		distSite  = flag.Bool("distributed-siterank", false, "compute SiteRank by distributed power iteration")
+		srMode    = flag.String("siterank", "auto", "SiteRank mode: auto, central, sync, batched or async")
+		asyncOrd  = flag.Bool("async-ordered", false, "with -siterank async: deterministic seeded sequential schedule")
+		asyncSeed = flag.Int64("async-seed", 0, "with -async-ordered: seed of the worker-selection schedule")
 		batch     = flag.Int("batch-rounds", 0, "SiteRank power rounds per exchange (with -distributed-siterank; <=1 = one round per exchange)")
 		failures  = flag.Int("max-worker-failures", 1, "worker losses one run may absorb by reassigning shards (0 = fail on first loss)")
 		redials   = flag.Int("max-redials", 0, "background redial attempts per lost worker (0 = lost workers stay lost)")
@@ -75,8 +85,28 @@ func run() error {
 	if *resume && *ckptPath == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
 	}
-	if *ckptPath != "" && !*distSite {
-		return fmt.Errorf("-checkpoint needs -distributed-siterank (the central SiteRank has no distributed iteration to checkpoint)")
+	var mode coordinator.SiteRankMode
+	switch *srMode {
+	case "auto":
+		mode = coordinator.SiteRankAuto
+	case "central":
+		mode = coordinator.SiteRankCentral
+	case "sync":
+		mode = coordinator.SiteRankSync
+	case "batched":
+		mode = coordinator.SiteRankBatched
+	case "async":
+		mode = coordinator.SiteRankAsync
+	default:
+		return fmt.Errorf("unknown -siterank mode %q (want auto, central, sync, batched or async)", *srMode)
+	}
+	if *asyncOrd && mode != coordinator.SiteRankAsync {
+		return fmt.Errorf("-async-ordered needs -siterank async")
+	}
+	distributed := *distSite || mode == coordinator.SiteRankSync ||
+		mode == coordinator.SiteRankBatched || mode == coordinator.SiteRankAsync
+	if *ckptPath != "" && !distributed {
+		return fmt.Errorf("-checkpoint needs a distributed SiteRank mode (the central SiteRank has no distributed iteration to checkpoint)")
 	}
 
 	f, err := os.Open(*graphPath)
@@ -123,6 +153,9 @@ func run() error {
 	cfg := coordinator.Config{
 		Damping:             *damping,
 		DistributedSiteRank: *distSite,
+		SiteRank:            mode,
+		AsyncOrdered:        *asyncOrd,
+		AsyncSeed:           *asyncSeed,
 		BatchRounds:         *batch,
 		Compress:            *compress,
 		Retry: coordinator.RetryPolicy{
@@ -185,6 +218,10 @@ func run() error {
 		}
 		if res.Stats.BatchMessagesSaved > 0 {
 			fmt.Printf("; batching saved %d SiteRank messages", res.Stats.BatchMessagesSaved)
+		}
+		if res.Stats.AsyncUpdatesMerged > 0 {
+			fmt.Printf("; async merged %d sweeps (%d verification rounds)",
+				res.Stats.AsyncUpdatesMerged, res.Stats.AsyncVerifyRounds)
 		}
 		fmt.Println()
 	}

@@ -21,9 +21,12 @@
 //   - a distributed runtime: loopback or networked worker fleets driven by
 //     a coordinator over a gob/TCP RPC substrate, with page-count shard
 //     balancing, digest-keyed worker caches, flate shard compression,
-//     batched SiteRank rounds, mid-run worker-loss recovery and
-//     background redial with mid-run re-admission (DistRetryPolicy),
-//     and checkpointed SiteRank iteration (DistCheckpoint).
+//     selectable SiteRank modes (SiteRankMode: central, synchronous
+//     rounds, batched rounds, or the barrier-free asynchronous protocol
+//     with synchronous verification — seeded-deterministic when
+//     ordered), mid-run worker-loss recovery and background redial with
+//     mid-run re-admission (DistRetryPolicy), and checkpointed SiteRank
+//     iteration (DistCheckpoint).
 //
 // Quick start:
 //

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -173,10 +174,45 @@ type EngineOptions struct {
 }
 
 // validate rejects query-shape combinations no backend serves, keeping
-// the two engines' contracts identical.
+// the two engines' contracts identical. Malformed personalization
+// vectors are rejected here, at the serving boundary, rather than left
+// to the solvers: a NaN or infinity would otherwise surface as a solver
+// failure deep inside the run — or, distributedly, propagate through a
+// barrier-free merge unchecked.
 func (q Query) validate() error {
 	if q.ThreeLayer && q.SitePersonalization != nil {
 		return fmt.Errorf("%w: ThreeLayer replaces the site layer and cannot combine with SitePersonalization", ErrUnsupportedQuery)
+	}
+	if q.SitePersonalization != nil {
+		if err := teleportable(q.SitePersonalization); err != nil {
+			return fmt.Errorf("%w: SitePersonalization %s", ErrUnsupportedQuery, err)
+		}
+	}
+	for site, v := range q.DocPersonalization {
+		if err := teleportable(v); err != nil {
+			return fmt.Errorf("%w: DocPersonalization[%d] %s", ErrUnsupportedQuery, site, err)
+		}
+	}
+	return nil
+}
+
+// teleportable reports whether v can serve as a teleport bias: every
+// entry finite and nonnegative, with positive total mass. Exact
+// normalization is not demanded — the solvers normalize — but an
+// all-zero vector has no distribution to normalize to.
+func teleportable(v Vector) error {
+	var mass float64
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("entry %d is not finite", i)
+		}
+		if x < 0 {
+			return fmt.Errorf("entry %d is negative", i)
+		}
+		mass += x
+	}
+	if mass == 0 {
+		return errors.New("has no mass to normalize")
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -366,5 +367,121 @@ func TestDistEngine(t *testing.T) {
 	}
 	if _, err := dist.Rank(ctx, Query{}); err != nil {
 		t.Fatalf("dist Rank after a cancelled query: %v", err)
+	}
+}
+
+// TestQueryValidation drives every ErrUnsupportedQuery branch through
+// both engines with one table: the ThreeLayer + SitePersonalization
+// combination, document-layer personalization on the distributed
+// backend, and malformed personalization vectors (non-finite entries,
+// negative weights, zero mass), which must be rejected at the Query
+// boundary instead of surfacing as solver failures mid-run. Control
+// rows pin that well-formed queries still pass.
+func TestQueryValidation(t *testing.T) {
+	web := engineWeb()
+	cl, err := StartCluster(2)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer cl.Close()
+	local, err := NewLocalEngine(web.Graph, EngineOptions{})
+	if err != nil {
+		t.Fatalf("NewLocalEngine: %v", err)
+	}
+	dist, err := NewDistEngine(cl, web.Graph, DistConfig{})
+	if err != nil {
+		t.Fatalf("NewDistEngine: %v", err)
+	}
+	ctx := context.Background()
+
+	goodSite := make(Vector, web.Graph.NumSites())
+	for i := range goodSite {
+		goodSite[i] = 1
+	}
+	goodSite.Normalize()
+	// poisonSite clones the valid site vector and overwrites one entry.
+	poisonSite := func(x float64) Vector {
+		v := goodSite.Clone()
+		v[1] = x
+		return v
+	}
+	var docSite SiteID
+	for s := 0; s < web.Graph.NumSites(); s++ {
+		if web.Graph.SiteSize(SiteID(s)) > 1 {
+			docSite = SiteID(s)
+			break
+		}
+	}
+	goodDoc := make(Vector, web.Graph.SiteSize(docSite))
+	for i := range goodDoc {
+		goodDoc[i] = 1
+	}
+	goodDoc.Normalize()
+	poisonDoc := func(x float64) map[SiteID]Vector {
+		v := goodDoc.Clone()
+		v[0] = x
+		return map[SiteID]Vector{docSite: v}
+	}
+
+	cases := []struct {
+		name string
+		q    Query
+		// rejected by both engines / by the distributed engine only
+		rejected     bool
+		distRejected bool
+	}{
+		{name: "uniform", q: Query{}},
+		{name: "sitePersonalized", q: Query{SitePersonalization: goodSite}},
+		{name: "threeLayer", q: Query{ThreeLayer: true}},
+		{
+			name:         "docPersonalizedIsLocalOnly",
+			q:            Query{DocPersonalization: map[SiteID]Vector{docSite: goodDoc}},
+			distRejected: true,
+		},
+		{
+			name:     "threeLayerWithSitePersonalization",
+			q:        Query{ThreeLayer: true, SitePersonalization: goodSite},
+			rejected: true,
+		},
+		{name: "siteNaN", q: Query{SitePersonalization: poisonSite(math.NaN())}, rejected: true},
+		{name: "siteInf", q: Query{SitePersonalization: poisonSite(math.Inf(1))}, rejected: true},
+		{name: "siteNegative", q: Query{SitePersonalization: poisonSite(-1)}, rejected: true},
+		{
+			name:     "siteZeroMass",
+			q:        Query{SitePersonalization: make(Vector, web.Graph.NumSites())},
+			rejected: true,
+		},
+		{name: "docNaN", q: Query{DocPersonalization: poisonDoc(math.NaN())}, rejected: true},
+		{name: "docInf", q: Query{DocPersonalization: poisonDoc(math.Inf(-1))}, rejected: true},
+		{name: "docNegative", q: Query{DocPersonalization: poisonDoc(-0.5)}, rejected: true},
+		{
+			name:     "docZeroMass",
+			q:        Query{DocPersonalization: map[SiteID]Vector{docSite: make(Vector, len(goodDoc))}},
+			rejected: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			engines := []struct {
+				name     string
+				eng      Engine
+				rejected bool
+			}{
+				{"local", local, tc.rejected},
+				{"dist", dist, tc.rejected || tc.distRejected},
+			}
+			for _, e := range engines {
+				_, err := e.eng.Rank(ctx, tc.q)
+				if e.rejected {
+					if !errors.Is(err, ErrUnsupportedQuery) {
+						t.Errorf("%s: err = %v, want ErrUnsupportedQuery", e.name, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("%s: unexpected error: %v", e.name, err)
+				}
+			}
+		})
 	}
 }

@@ -90,6 +90,28 @@ func TestChaosSoak(t *testing.T) {
 			bitwise: true,
 			resume:  true,
 		},
+		{
+			// No resume leg: a cancel lands inside concurrent driver
+			// calls and poisons their connections, which is the
+			// documented cost of the barrier-free phase — crash recovery
+			// is the ordered schedule's job.
+			name: "asyncSiteRank",
+			cfg: coordinator.Config{
+				SiteRank: coordinator.SiteRankAsync, Tol: 1e-12, MaxIter: 4000,
+			},
+			kinds: []wire.Kind{wire.KindLoad, wire.KindRankLocal, wire.KindAsyncUpdate},
+		},
+		{
+			// Not bitwise despite the seed: a chaos kill diverges the
+			// schedule from the undisturbed reference run.
+			name: "orderedAsyncSiteRank",
+			cfg: coordinator.Config{
+				SiteRank: coordinator.SiteRankAsync, AsyncOrdered: true, AsyncSeed: 11,
+				Tol: 1e-12, MaxIter: 4000,
+			},
+			kinds:  []wire.Kind{wire.KindLoad, wire.KindRankLocal, wire.KindAsyncUpdate},
+			resume: true,
+		},
 	}
 
 	for _, m := range modes {

@@ -1,0 +1,631 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"lmmrank/internal/dist/wire"
+	"lmmrank/internal/matrix"
+)
+
+// This file implements SiteRankAsync, the barrier-free SiteRank mode.
+//
+// The wire protocol is strict request/response, so workers cannot push;
+// barrier freedom is recovered on the coordinator instead: one driver
+// goroutine per worker keeps exactly one KindAsyncUpdate in flight on
+// its connection, and drivers on distinct workers run concurrently. A
+// worker delayed 10× simply completes 10× fewer sweeps — nothing waits
+// for it, which is exactly the straggler property the synchronous
+// barrier lacks.
+//
+// All merging, convergence detection and failure handling happen
+// sequentially in the supervisor (the calling goroutine): drivers only
+// perform wire calls and deliver results on a channel, then park on a
+// per-driver ack until their sweep is merged. The ack is what prevents
+// a fast worker from re-sweeping an unchanged snapshot — whose merge
+// would produce a residual of zero and fake convergence.
+//
+// Convergence is detected in two stages. The async phase tracks a
+// decaying maximum of per-merge residuals (resEst); once every live
+// worker has contributed to the current accumulator generation and
+// resEst crossed Tol, the phase is a convergence *candidate* only. The
+// drivers are drained, the epoch is acknowledged, and synchronous
+// barrier verification rounds — the exact arithmetic of the
+// synchronous mode — run until the true residual crosses Tol. The
+// final iterate therefore meets Tol regardless of how optimistic the
+// asynchronous estimate was, and the verification barrier is also the
+// safe point where rejoined workers are re-admitted.
+
+// asyncResDecay shapes the decaying residual estimate: each merge
+// relaxes the remembered maximum by this factor before taking the new
+// residual into account. Close enough to 1 that one small residual
+// from a stale straggler sweep cannot fake convergence on its own;
+// far enough below 1 that the estimate tracks the true trend within a
+// few sweeps per worker.
+const asyncResDecay = 0.9
+
+// asyncStaleBuckets sizes Stats.AsyncStalenessHist; the last bucket
+// absorbs every staleness ≥ asyncStaleBuckets−1.
+const asyncStaleBuckets = 8
+
+// asyncUpdate is one delivered sweep (or the driver's terminal error).
+type asyncUpdate struct {
+	idx      int
+	partial  []float64
+	dangling float64
+	mass     float64
+	// epoch and baseVer identify the accumulator generation and merge
+	// version the sweep's snapshot was taken from.
+	epoch   uint64
+	baseVer uint64
+	err     error
+}
+
+// asyncShared is the snapshot drivers sweep against. The supervisor
+// publishes a freshly allocated iterate after every merge and never
+// mutates a published slice, so drivers hand the pointer straight to
+// the gob encoder without copying.
+type asyncShared struct {
+	mu      sync.Mutex
+	x       []float64
+	version uint64
+	epoch   uint64
+}
+
+func (s *asyncShared) snapshot() ([]float64, uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.x, s.version, s.epoch
+}
+
+func (s *asyncShared) publish(x []float64, version, epoch uint64) {
+	s.mu.Lock()
+	s.x = x
+	s.version = version
+	s.epoch = epoch
+	s.mu.Unlock()
+}
+
+// asyncAccum is the per-epoch versioned accumulator: the last sweep of
+// every worker in the current generation, the merged iterate, and the
+// decaying residual estimate. Owned exclusively by the supervisor.
+type asyncAccum struct {
+	r       *run
+	f       float64
+	uniform float64
+	// x is the merged iterate, next the merge scratch (swapped).
+	x    matrix.Vector
+	next matrix.Vector
+	// version counts merges across the whole phase (staleness is
+	// measured in versions); has/partials/dangling/masses hold each
+	// worker's latest contribution in the current epoch.
+	version  uint64
+	has      []bool
+	partials [][]float64
+	dangling []float64
+	masses   []float64
+	// lastRes is each worker's most recent merge residual this epoch. A
+	// slow worker's sweeps arrive stale and jolt the iterate; requiring
+	// every worker's latest jolt under Tol keeps the candidate honest —
+	// fast workers alone can sit arbitrarily still around a wrong point.
+	lastRes []float64
+	resEst  float64
+}
+
+func newAsyncAccum(r *run, x matrix.Vector) *asyncAccum {
+	n := len(r.c.workers)
+	return &asyncAccum{
+		r:        r,
+		f:        r.cfg.damping(),
+		uniform:  1.0 / float64(r.ns),
+		x:        x,
+		next:     matrix.NewVector(r.ns),
+		has:      make([]bool, n),
+		partials: make([][]float64, n),
+		dangling: make([]float64, n),
+		masses:   make([]float64, n),
+		lastRes:  make([]float64, n),
+		resEst:   math.Inf(1),
+	}
+}
+
+// merge folds one sweep in and recomputes the iterate over the stored
+// contributions, in fixed worker order:
+//
+//	y = f·Σ_w partial_w + (Σ_w f·dangling_w + (1−f)·mass_w)·v
+//
+// normalized. When every contribution swept the same iterate this is
+// exactly the synchronous update — the owned sites partition the site
+// space, so the per-worker masses partition Σx — and with mixed
+// snapshots it is a chaotic relaxation whose answer the verification
+// rounds confirm. Returns the L1 residual of this merge.
+func (a *asyncAccum) merge(u *asyncUpdate) float64 {
+	a.partials[u.idx] = u.partial
+	a.dangling[u.idx] = u.dangling
+	a.masses[u.idx] = u.mass
+	a.has[u.idx] = true
+
+	y := a.next
+	y.Fill(0)
+	var coeff float64
+	for idx := range a.partials {
+		if !a.has[idx] {
+			continue
+		}
+		y.AddScaled(1, a.partials[idx])
+		coeff += a.f*a.dangling[idx] + (1-a.f)*a.masses[idx]
+	}
+	if a.r.tele == nil {
+		for t := range y {
+			y[t] = a.f*y[t] + coeff*a.uniform
+		}
+	} else {
+		for t := range y {
+			y[t] = a.f*y[t] + coeff*a.r.tele[t]
+		}
+	}
+	y.Normalize()
+	residual := y.L1Diff(a.x)
+	a.x, a.next = y, a.x
+	a.version++
+	a.lastRes[u.idx] = residual
+	if math.IsInf(a.resEst, 1) {
+		// First merge of an epoch: the decaying max restarts from the
+		// observed residual (Inf·decay would stay Inf forever).
+		a.resEst = residual
+	} else {
+		a.resEst = math.Max(residual, a.resEst*asyncResDecay)
+	}
+	return residual
+}
+
+// candidate reports whether the accumulator looks converged: every
+// live worker has contributed to the current epoch (an accumulator
+// missing a worker's rows is nowhere near the fixed point no matter how
+// still it sits), every worker's latest merge moved the iterate by at
+// most tol (a straggler's stale sweeps jolt the iterate each arrival;
+// until those jolts die down the point is wrong, however quiet the fast
+// workers are between them), and the decaying residual maximum is under
+// tol. A candidate is not an answer — verification rounds confirm it
+// against the true synchronous operator.
+func (a *asyncAccum) candidate(tol float64) bool {
+	for idx, alive := range a.r.alive {
+		if !alive {
+			continue
+		}
+		if !a.has[idx] || a.lastRes[idx] > tol {
+			return false
+		}
+	}
+	return a.resEst <= tol
+}
+
+// reset opens a new epoch after a membership change: ownership moved,
+// so every stored contribution may cover the wrong row set. The merged
+// iterate survives (it is still a valid starting point); the estimate
+// restarts pessimistic.
+func (a *asyncAccum) reset() {
+	for i := range a.has {
+		a.has[i] = false
+		a.partials[i] = nil
+		a.lastRes[i] = 0
+	}
+	a.resEst = math.Inf(1)
+}
+
+// recordMerge does the shared per-merge accounting: merge counters,
+// the per-worker sweep decomposition and the staleness histogram.
+func (r *run) recordMerge(idx int, staleness uint64) {
+	r.stats.AsyncUpdatesMerged++
+	r.stats.AsyncWorkerSweeps[idx]++
+	bucket := int(staleness)
+	if bucket >= asyncStaleBuckets {
+		bucket = asyncStaleBuckets - 1
+	}
+	r.stats.AsyncStalenessHist[bucket]++
+}
+
+// asyncSiteRank runs the barrier-free SiteRank: the concurrent
+// per-worker driver protocol by default, or the seeded sequential
+// schedule under Config.AsyncOrdered. The returned round count is the
+// merges executed by this run plus the verification rounds.
+func (r *run) asyncSiteRank() (matrix.Vector, int, error) {
+	r.stats.AsyncWorkerSweeps = make([]int, len(r.c.workers))
+	r.stats.AsyncStalenessHist = make([]int, asyncStaleBuckets)
+	if r.cfg.AsyncOrdered {
+		return r.asyncOrdered()
+	}
+	return r.asyncConcurrent()
+}
+
+// asyncDriver keeps one KindAsyncUpdate in flight against one worker:
+// snapshot, sweep, deliver, wait for the merge ack, repeat. It exits on
+// stop, on any call failure (delivering the error as its final update)
+// or on a malformed response. The updates channel is buffered to the
+// fleet size and each driver has at most one undelivered update, so
+// sends never block.
+func (r *run) asyncDriver(idx int, sh *asyncShared, updates chan<- *asyncUpdate, ack <-chan struct{}, stop <-chan struct{}) {
+	w := r.c.workers[idx]
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		x, ver, epoch := sh.snapshot()
+		u := &asyncUpdate{idx: idx, baseVer: ver, epoch: epoch}
+		resp, err := w.call(r.ctx, &wire.Request{
+			Kind:     wire.KindAsyncUpdate,
+			NumSites: r.ns,
+			X:        x,
+			Epoch:    epoch,
+		}, &r.c.counters, r.c.callTimeout())
+		if err != nil {
+			u.err = err
+			updates <- u
+			return
+		}
+		if len(resp.Partial) != r.ns {
+			u.err = fmt.Errorf("coordinator: %s returned partial of length %d, want %d",
+				w.addr, len(resp.Partial), r.ns)
+			updates <- u
+			return
+		}
+		u.partial, u.dangling, u.mass = resp.Partial, resp.DanglingMass, resp.Mass
+		updates <- u
+		select {
+		case <-ack:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// asyncConcurrent is the default asynchronous protocol: one driver per
+// live worker, merges applied in arrival order by this (supervisor)
+// goroutine. Worker losses reassign rows mid-phase and open a new
+// epoch; rejoined workers wait for the verification barrier.
+func (r *run) asyncConcurrent() (matrix.Vector, int, error) {
+	tol := r.cfg.tol()
+	nw := len(r.c.workers)
+	budget := r.cfg.maxIter() * nw
+
+	x, startMerges, ckpt, ckptDigest, err := r.resumeSiteRank(budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	acc := newAsyncAccum(r, x)
+
+	epoch := uint64(1)
+	sh := &asyncShared{x: append([]float64(nil), x...), epoch: epoch}
+	updates := make(chan *asyncUpdate, nw)
+	acks := make([]chan struct{}, nw)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, idx := range r.aliveIdxs() {
+		acks[idx] = make(chan struct{}, 1)
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			r.asyncDriver(idx, sh, updates, acks[idx], stop)
+		}(idx)
+	}
+	// stopAll drains the fleet: closing stop releases parked drivers,
+	// in-flight sweeps complete and are discarded. Deferred so every
+	// error return leaves no driver behind; idempotent because error
+	// paths and the candidate path both reach it.
+	stopped := false
+	stopAll := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(stop)
+		wg.Wait()
+		for {
+			select {
+			case <-updates:
+			default:
+				return
+			}
+		}
+	}
+	defer stopAll()
+
+	merges := startMerges
+	ckptEvery := r.cfg.checkpointEvery() * nw
+	for {
+		var u *asyncUpdate
+		select {
+		case <-r.ctx.Done():
+			return nil, merges - startMerges, r.ctx.Err()
+		case u = <-updates:
+		}
+		if u.err != nil {
+			if !errors.Is(u.err, errLost) {
+				return nil, merges - startMerges, u.err
+			}
+			moved, lerr := r.lose(u.idx, u.err, true)
+			if lerr != nil {
+				return nil, merges - startMerges, lerr
+			}
+			if len(moved) > 0 {
+				if serr := r.ship(moved); serr != nil {
+					return nil, merges - startMerges, serr
+				}
+			}
+			r.stats.Retries++
+			// Ownership moved: contributions keyed to the old partition
+			// must not mix with sweeps of the new one.
+			epoch++
+			acc.reset()
+			sh.publish(append([]float64(nil), acc.x...), acc.version, epoch)
+			continue
+		}
+		if u.epoch != epoch {
+			// Dispatched before a membership change; the driver
+			// re-snapshots under the new epoch.
+			acks[u.idx] <- struct{}{}
+			continue
+		}
+		acc.merge(u)
+		merges++
+		r.recordMerge(u.idx, acc.version-1-u.baseVer)
+		sh.publish(append([]float64(nil), acc.x...), acc.version, epoch)
+		acks[u.idx] <- struct{}{}
+		if acc.candidate(tol) {
+			break
+		}
+		if merges >= budget {
+			return acc.x, merges - startMerges, fmt.Errorf("coordinator: async siterank: %w after %d merges",
+				matrix.ErrNotConverged, merges)
+		}
+		if ckpt != nil && (merges-startMerges)%ckptEvery == 0 {
+			if err := ckpt.Save(&CheckpointState{Digest: ckptDigest, Round: merges, X: acc.x}); err != nil {
+				return nil, merges - startMerges, err
+			}
+		}
+	}
+	stopAll()
+	return r.asyncFinish(acc, epoch, merges-startMerges, ckpt)
+}
+
+// asyncOrdered is the deterministic asynchronous schedule: a seeded
+// rand draws one live worker at a time, and its sweep is merged before
+// the next draw (every merge at staleness zero). With a fixed seed and
+// fleet the SiteRank is bitwise reproducible across runs — the
+// property the randomized-update literature analyzes, and the one the
+// reproducibility test pins.
+func (r *run) asyncOrdered() (matrix.Vector, int, error) {
+	tol := r.cfg.tol()
+	nw := len(r.c.workers)
+	budget := r.cfg.maxIter() * nw
+
+	x, startMerges, ckpt, ckptDigest, err := r.resumeSiteRank(budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	acc := newAsyncAccum(r, x)
+	rng := rand.New(rand.NewSource(r.cfg.AsyncSeed))
+
+	epoch := uint64(1)
+	merges := startMerges
+	ckptEvery := r.cfg.checkpointEvery() * nw
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return nil, merges - startMerges, err
+		}
+		rejoined := r.stats.WorkersRejoined
+		if err := r.maybeReadmit(); err != nil {
+			return nil, merges - startMerges, err
+		}
+		if r.stats.WorkersRejoined != rejoined {
+			// Re-admission moved rows back: new epoch, like any other
+			// membership change.
+			epoch++
+			acc.reset()
+		}
+		idxs := r.aliveIdxs()
+		idx := idxs[rng.Intn(len(idxs))]
+		resp, err := r.c.workers[idx].call(r.ctx, &wire.Request{
+			Kind:     wire.KindAsyncUpdate,
+			NumSites: r.ns,
+			X:        acc.x,
+			Epoch:    epoch,
+		}, &r.c.counters, r.c.callTimeout())
+		if err != nil {
+			if !errors.Is(err, errLost) {
+				return nil, merges - startMerges, err
+			}
+			moved, lerr := r.lose(idx, err, true)
+			if lerr != nil {
+				return nil, merges - startMerges, lerr
+			}
+			if len(moved) > 0 {
+				if serr := r.ship(moved); serr != nil {
+					return nil, merges - startMerges, serr
+				}
+			}
+			r.stats.Retries++
+			epoch++
+			acc.reset()
+			continue
+		}
+		if len(resp.Partial) != r.ns {
+			return nil, merges - startMerges, fmt.Errorf("coordinator: %s returned partial of length %d, want %d",
+				r.c.workers[idx].addr, len(resp.Partial), r.ns)
+		}
+		acc.merge(&asyncUpdate{
+			idx: idx, partial: resp.Partial, dangling: resp.DanglingMass, mass: resp.Mass,
+		})
+		merges++
+		r.recordMerge(idx, 0)
+		if acc.candidate(tol) {
+			break
+		}
+		if merges >= budget {
+			return acc.x, merges - startMerges, fmt.Errorf("coordinator: async siterank: %w after %d merges",
+				matrix.ErrNotConverged, merges)
+		}
+		if ckpt != nil && (merges-startMerges)%ckptEvery == 0 {
+			if err := ckpt.Save(&CheckpointState{Digest: ckptDigest, Round: merges, X: acc.x}); err != nil {
+				return nil, merges - startMerges, err
+			}
+		}
+	}
+	return r.asyncFinish(acc, epoch, merges-startMerges, ckpt)
+}
+
+// asyncFinish is the shared tail of both schedules: acknowledge the
+// final epoch across the drained fleet, then confirm the candidate with
+// synchronous verification rounds. The verification loop is what makes
+// the asynchronous result exact: it iterates the true synchronous
+// operator until the residual crosses Tol, so an optimistic estimate
+// costs extra rounds, never a wrong answer.
+func (r *run) asyncFinish(acc *asyncAccum, epoch uint64, asyncRounds int, ckpt Checkpoint) (matrix.Vector, int, error) {
+	if err := r.asyncDrain(epoch); err != nil {
+		return nil, asyncRounds, err
+	}
+	x, vrounds, err := r.verifySyncRounds(acc.x, r.cfg.maxIter())
+	r.stats.AsyncVerifyRounds = vrounds
+	if err != nil {
+		return nil, asyncRounds + vrounds, err
+	}
+	if ckpt != nil {
+		if cerr := ckpt.Clear(); cerr != nil {
+			return nil, asyncRounds + vrounds, cerr
+		}
+	}
+	return x, asyncRounds + vrounds, nil
+}
+
+// asyncDrain retires the asynchronous epoch on every live worker
+// (KindAsyncAck). A worker lost at the ack goes through the normal
+// loss path — its rows must reach a survivor before the verification
+// rounds cover the chain.
+func (r *run) asyncDrain(epoch uint64) error {
+	for _, idx := range r.aliveIdxs() {
+		_, err := r.c.workers[idx].call(r.ctx, &wire.Request{
+			Kind:  wire.KindAsyncAck,
+			Epoch: epoch,
+		}, &r.c.counters, r.c.callTimeout())
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errLost) {
+			return err
+		}
+		moved, lerr := r.lose(idx, err, true)
+		if lerr != nil {
+			return lerr
+		}
+		if len(moved) > 0 {
+			if serr := r.ship(moved); serr != nil {
+				return serr
+			}
+		}
+		r.stats.Retries++
+	}
+	return nil
+}
+
+// verifySyncRounds runs barrier-synchronous power rounds from x until
+// the residual crosses Tol — the exact arithmetic and reduce order of
+// distributedSiteRank, including loss recovery and re-admission at the
+// round barrier (the safe point asynchronous phases cannot offer).
+func (r *run) verifySyncRounds(x matrix.Vector, maxRounds int) (matrix.Vector, int, error) {
+	f := r.cfg.damping()
+	tol := r.cfg.tol()
+	uniform := 1.0 / float64(r.ns)
+	next := matrix.NewVector(r.ns)
+	partials := make([][]float64, len(r.c.workers))
+	dangling := make([]float64, len(r.c.workers))
+
+	for round := 1; round <= maxRounds; round++ {
+		var idxs []int
+		for {
+			if err := r.ctx.Err(); err != nil {
+				return nil, round - 1, err
+			}
+			if err := r.maybeReadmit(); err != nil {
+				return nil, round - 1, err
+			}
+			idxs = r.aliveIdxs()
+			resps := make([]*wire.Response, len(idxs))
+			errs := make([]error, len(idxs))
+			var wg sync.WaitGroup
+			for i, idx := range idxs {
+				wg.Add(1)
+				go func(i, idx int) {
+					defer wg.Done()
+					resps[i], errs[i] = r.c.workers[idx].call(r.ctx, &wire.Request{
+						Kind:     wire.KindPowerRound,
+						NumSites: r.ns,
+						X:        x,
+					}, &r.c.counters, r.c.callTimeout())
+				}(i, idx)
+			}
+			wg.Wait()
+			var lostIdxs []int
+			var lostErr error
+			for i, idx := range idxs {
+				if err := errs[i]; err != nil {
+					if errors.Is(err, errLost) {
+						lostIdxs = append(lostIdxs, idx)
+						lostErr = err
+						continue
+					}
+					return nil, round - 1, err
+				}
+				if len(resps[i].Partial) != r.ns {
+					return nil, round - 1, fmt.Errorf("coordinator: %s returned partial of length %d, want %d",
+						r.c.workers[idx].addr, len(resps[i].Partial), r.ns)
+				}
+				partials[idx] = resps[i].Partial
+				dangling[idx] = resps[i].DanglingMass
+			}
+			if len(lostIdxs) == 0 {
+				break
+			}
+			for _, idx := range lostIdxs {
+				moved, lerr := r.lose(idx, lostErr, true)
+				if lerr != nil {
+					return nil, round - 1, lerr
+				}
+				if len(moved) > 0 {
+					if err := r.ship(moved); err != nil {
+						return nil, round - 1, err
+					}
+				}
+			}
+			r.stats.Retries++
+		}
+		next.Fill(0)
+		var dangMass float64
+		for _, idx := range idxs {
+			next.AddScaled(1, partials[idx])
+			dangMass += dangling[idx]
+		}
+		coeff := f*dangMass + (1-f)*x.Sum()
+		if r.tele == nil {
+			for t := range next {
+				next[t] = f*next[t] + coeff*uniform
+			}
+		} else {
+			for t := range next {
+				next[t] = f*next[t] + coeff*r.tele[t]
+			}
+		}
+		next.Normalize()
+		residual := next.L1Diff(x)
+		x, next = next, x
+		if residual <= tol {
+			return x, round, nil
+		}
+	}
+	return x, maxRounds, fmt.Errorf("coordinator: async siterank verification: %w after %d rounds",
+		matrix.ErrNotConverged, maxRounds)
+}

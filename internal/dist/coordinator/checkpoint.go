@@ -183,9 +183,23 @@ func (r *run) checkpointDigest() wire.Digest {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		h.Write(buf[:])
 	}
-	if r.cfg.batchRounds() > 1 {
+	mode := r.cfg.mode()
+	switch mode {
+	case SiteRankBatched:
 		writeInt(1)
-	} else {
+	case SiteRankAsync:
+		// The async discriminators extend the historical 0/1 values, so
+		// pre-async snapshots stay resumable by the modes that wrote
+		// them. The ordered schedule gets its own value plus the seed: a
+		// resumed ordered run restarts the schedule, and seeds must not
+		// cross-pollinate through a shared snapshot.
+		if r.cfg.AsyncOrdered {
+			writeInt(3)
+			writeInt(int(r.cfg.AsyncSeed))
+		} else {
+			writeInt(2)
+		}
+	default:
 		writeInt(0)
 	}
 	writeInt(r.ns)
@@ -196,7 +210,7 @@ func (r *run) checkpointDigest() wire.Digest {
 	for _, v := range r.tele {
 		writeFloat(v)
 	}
-	if r.cfg.batchRounds() > 1 {
+	if mode == SiteRankBatched {
 		h.Write(r.chainRef[:])
 	} else {
 		for _, ref := range r.refs {

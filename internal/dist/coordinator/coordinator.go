@@ -111,6 +111,50 @@ func backoffDelay(base, max time.Duration, attempt int) time.Duration {
 	return time.Duration((0.5 + rand.Float64()) * float64(d))
 }
 
+// SiteRankMode selects the site-layer algorithm of a distributed run.
+type SiteRankMode int
+
+const (
+	// SiteRankAuto derives the mode from the legacy knobs: central
+	// unless DistributedSiteRank is set, then synchronous power rounds,
+	// or batched rounds when BatchRounds > 1.
+	SiteRankAuto SiteRankMode = iota
+	// SiteRankCentral solves the site layer in-process on the
+	// coordinator (the fleet still computes the local DocRanks).
+	SiteRankCentral
+	// SiteRankSync is the barrier-synchronous distributed power
+	// iteration: every round reduces one partial from every live worker.
+	SiteRankSync
+	// SiteRankBatched exchanges up to BatchRounds power rounds per
+	// message against a chain replicated on every worker.
+	SiteRankBatched
+	// SiteRankAsync is the barrier-free randomized mode: per-worker
+	// sweeps merge into a versioned accumulator as they arrive, so a
+	// straggler degrades convergence instead of stalling the fleet. A
+	// candidate convergence detected from a decaying residual estimate
+	// is always confirmed by synchronous verification rounds, so the
+	// result meets Tol exactly like the synchronous modes.
+	SiteRankAsync
+)
+
+// String names the mode for logs and flag round-trips.
+func (m SiteRankMode) String() string {
+	switch m {
+	case SiteRankAuto:
+		return "auto"
+	case SiteRankCentral:
+		return "central"
+	case SiteRankSync:
+		return "sync"
+	case SiteRankBatched:
+		return "batched"
+	case SiteRankAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("SiteRankMode(%d)", int(m))
+	}
+}
+
 // Config parameterizes one distributed ranking run.
 type Config struct {
 	// Damping is the PageRank damping factor / gatekeeper α. Zero is a
@@ -166,6 +210,22 @@ type Config struct {
 	// live worker without any reassignment, since every peer holds the
 	// chain.
 	BatchRounds int
+	// SiteRank selects the site-layer algorithm explicitly. The zero
+	// value (SiteRankAuto) derives it from DistributedSiteRank and
+	// BatchRounds, preserving the legacy knobs; SiteRankAsync — the
+	// barrier-free mode — is reachable only through this field.
+	SiteRank SiteRankMode
+	// AsyncOrdered makes the asynchronous mode deterministic: instead of
+	// one concurrent sweep driver per worker, the coordinator draws one
+	// worker at a time from a seeded schedule and merges its sweep before
+	// drawing the next (Ishii–Tempo's sequential randomized update). The
+	// SiteRank it produces is bitwise reproducible for a fixed AsyncSeed
+	// and fleet; the concurrent default is faster but its merge order is
+	// scheduler-dependent (still within Tol of the synchronous result).
+	AsyncOrdered bool
+	// AsyncSeed seeds the ordered asynchronous schedule (and nothing
+	// else); ignored unless AsyncOrdered is set.
+	AsyncSeed int64
 	// Retry controls mid-run fault tolerance; the zero value disables
 	// recovery.
 	Retry RetryPolicy
@@ -226,6 +286,27 @@ func (c Config) checkpointEvery() int {
 		return 1
 	}
 	return c.CheckpointEvery
+}
+
+// mode resolves the effective SiteRankMode: the explicit field when
+// set, else the legacy DistributedSiteRank/BatchRounds derivation.
+func (c Config) mode() SiteRankMode {
+	if c.SiteRank != SiteRankAuto {
+		return c.SiteRank
+	}
+	if !c.DistributedSiteRank {
+		return SiteRankCentral
+	}
+	if c.batchRounds() > 1 {
+		return SiteRankBatched
+	}
+	return SiteRankSync
+}
+
+// distributed reports whether the mode runs the site layer on the
+// fleet — the modes checkpointing and the site-chain payloads apply to.
+func (m SiteRankMode) distributed() bool {
+	return m == SiteRankSync || m == SiteRankBatched || m == SiteRankAsync
 }
 
 // Stats breaks down the cost of a distributed run.
@@ -298,6 +379,23 @@ type Stats struct {
 	// round batching: rounds × live workers (the unbatched protocol's
 	// cost) minus the batch exchanges actually made.
 	BatchMessagesSaved int
+	// AsyncUpdatesMerged counts the barrier-free sweeps SiteRankAsync
+	// folded into its accumulator (SiteRankRounds counts the same thing
+	// for the async mode, plus the verification rounds).
+	AsyncUpdatesMerged int
+	// AsyncWorkerSweeps breaks AsyncUpdatesMerged down per fleet index —
+	// the straggler-tolerance signature: a delayed worker merges fewer
+	// sweeps instead of slowing everyone else's.
+	AsyncWorkerSweeps []int
+	// AsyncStalenessHist histograms each merged sweep's staleness — how
+	// many merges landed between the sweep's snapshot and its own merge.
+	// Bucket i counts staleness exactly i; the last bucket absorbs the
+	// tail. The ordered schedule merges every sweep at staleness 0.
+	AsyncStalenessHist []int
+	// AsyncVerifyRounds counts the synchronous barrier rounds run to
+	// confirm a candidate convergence of the asynchronous phase — the
+	// rounds that make the residual estimate's optimism harmless.
+	AsyncVerifyRounds int
 }
 
 // Result is the outcome of a distributed ranking run. Every vector is

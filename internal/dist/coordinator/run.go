@@ -105,9 +105,13 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 	if f := cfg.damping(); f <= 0 || f >= 1 {
 		return nil, fmt.Errorf("coordinator: %w: damping %g outside (0,1)", pagerank.ErrBadConfig, f)
 	}
+	if cfg.SiteRank < SiteRankAuto || cfg.SiteRank > SiteRankAsync {
+		return nil, fmt.Errorf("coordinator: %w: unknown SiteRank mode %d", pagerank.ErrBadConfig, int(cfg.SiteRank))
+	}
+	mode := cfg.mode()
 	if cfg.ThreeLayer {
-		if cfg.DistributedSiteRank {
-			return nil, fmt.Errorf("coordinator: %w: ThreeLayer computes its site weights centrally and cannot combine with DistributedSiteRank", pagerank.ErrBadConfig)
+		if mode.distributed() {
+			return nil, fmt.Errorf("coordinator: %w: ThreeLayer computes its site weights centrally and cannot combine with a distributed SiteRank mode", pagerank.ErrBadConfig)
 		}
 		if cfg.SitePersonalization != nil {
 			return nil, fmt.Errorf("coordinator: %w: ThreeLayer replaces the site layer and cannot combine with SitePersonalization", pagerank.ErrBadConfig)
@@ -202,7 +206,7 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 		res.DomainRank = tl.DomainRank
 		res.DomainOfSite = tl.DomainOfSite
 		res.SiteEntry = tl.SiteEntry
-	case !cfg.DistributedSiteRank:
+	case mode == SiteRankCentral:
 		scores, rounds, err := rk.RankSites(lmm.WebConfig{
 			Damping:             cfg.Damping,
 			Tol:                 cfg.Tol,
@@ -217,9 +221,16 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 		// this run, so copy the small site vector out.
 		siteRank = scores.Clone()
 		res.Stats.SiteRankRounds = rounds
-	case cfg.batchRounds() > 1:
+	case mode == SiteRankBatched:
 		var rounds int
 		siteRank, rounds, err = r.batchedSiteRank()
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.SiteRankRounds = rounds
+	case mode == SiteRankAsync:
+		var rounds int
+		siteRank, rounds, err = r.asyncSiteRank()
 		if err != nil {
 			return nil, err
 		}
@@ -249,10 +260,11 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 
 // buildShards materializes every site's wire payload from the Ranker's
 // precomputed subgraphs, plus each shard's content digest for the cache
-// negotiation. Site-chain rows ride inside the shards only when the
-// one-round-at-a-time distributed SiteRank will consume them; round
-// batching ships the whole chain separately instead, and central mode
-// ships no site-layer data at all.
+// negotiation. Site-chain rows ride inside the shards only when a
+// row-partitioned SiteRank (synchronous one-round-at-a-time or
+// asynchronous sweeps) will consume them; round batching ships the
+// whole chain separately instead, and central mode ships no site-layer
+// data at all.
 //
 // The payloads are memoized on the Coordinator per (Ranker, protocol
 // shape), LRU-bounded across several prepared graphs: a warm
@@ -264,9 +276,9 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 // slots (and the small site chain) are rebuilt and re-hashed here, so
 // churn costs digest work proportional to what changed.
 func (r *run) buildShards() {
-	batch := r.cfg.batchRounds()
-	wantRows := r.cfg.DistributedSiteRank && batch <= 1
-	withChain := r.cfg.DistributedSiteRank && batch > 1
+	mode := r.cfg.mode()
+	wantRows := mode == SiteRankSync || mode == SiteRankAsync
+	withChain := mode == SiteRankBatched
 	p := r.c.lookupPrep(r.rk, wantRows, withChain)
 	if p != nil && p.complete() {
 		r.shards, r.refs, r.sizes = p.shards, p.refs, p.sizes
@@ -932,12 +944,13 @@ func (r *run) localPhase(dg *graph.DocGraph) ([]matrix.Vector, []int, error) {
 			}
 		}
 		// Re-ship only what the survivors will actually use: sites whose
-		// local ranks are still pending, plus — in the unbatched
-		// distributed SiteRank mode, where chain rows ride inside the
-		// shards — every moved site, since the power rounds will need its
-		// row. In central and batched modes a completed site's shard is
-		// dead weight and stays unshipped.
-		needRows := r.cfg.DistributedSiteRank && r.cfg.batchRounds() <= 1
+		// local ranks are still pending, plus — in the modes where chain
+		// rows ride inside the shards (synchronous unbatched and async) —
+		// every moved site, since the power sweeps will need its row. In
+		// central and batched modes a completed site's shard is dead
+		// weight and stays unshipped.
+		mode := r.cfg.mode()
+		needRows := mode == SiteRankSync || mode == SiteRankAsync
 		for _, idx := range lostIdxs {
 			moved, lerr := r.lose(idx, errs[indexOf(idxs, idx)], true)
 			if lerr != nil {

@@ -66,6 +66,21 @@ const (
 	// their interim owner's session, or KindPowerRound — which covers
 	// every loaded shard — would count those chain rows twice.
 	KindUnload
+	// KindAsyncUpdate performs one barrier-free SiteRank sweep: the same
+	// row-partition arithmetic as KindPowerRound (partial product over
+	// owned rows plus dangling mass), but additionally reporting the
+	// iterate mass sitting on the owned sites (Response.Mass) so the
+	// coordinator can merge contributions taken from *different* iterate
+	// snapshots — the asynchronous mode's per-worker sweeps never share a
+	// round barrier. Request.Epoch versions the accumulator generation the
+	// sweep feeds; the worker counts sweeps per epoch.
+	KindAsyncUpdate
+	// KindAsyncAck drains one asynchronous epoch: the worker reports how
+	// many KindAsyncUpdate sweeps it served in Request.Epoch
+	// (Response.Rounds), then retires that epoch — a late or duplicated
+	// update for a drained epoch is refused instead of silently feeding a
+	// stale accumulator.
+	KindAsyncAck
 )
 
 // MaxShardDocs bounds the aggregate claimed document count of one Load
@@ -179,6 +194,12 @@ type Request struct {
 	Sites []int
 	// Rounds asks KindBatchRounds for up to this many power rounds.
 	Rounds int
+	// Epoch versions the asynchronous accumulator generation for
+	// KindAsyncUpdate and KindAsyncAck. Epochs only move forward on a
+	// session: a sweep for an epoch older than the session's current one
+	// is refused (it would feed a drained accumulator), a newer one
+	// adopts the new epoch and restarts the sweep count.
+	Epoch uint64
 }
 
 // LocalRank is one site's local DocRank as computed by a worker.
@@ -213,10 +234,21 @@ type Response struct {
 	// X is the iterate after KindBatchRounds ran Rounds power rounds;
 	// Residual is the last L1 step size and Converged whether it crossed
 	// the tolerance (in which case Rounds may be fewer than asked).
+	// Rounds doubles as KindAsyncAck's drained sweep count.
 	X         []float64
 	Rounds    int
 	Residual  float64
 	Converged bool
+	// Mass is the iterate mass on the worker's owned sites (Σ X[s] over
+	// loaded shards), reported by KindAsyncUpdate: asynchronous merges
+	// combine partials from different snapshots, so the teleport
+	// coefficient needs each contribution's own mass rather than one
+	// shared Σx.
+	Mass float64
+	// Epoch echoes the request's accumulator epoch on KindAsyncUpdate
+	// and KindAsyncAck, letting the coordinator discard responses that
+	// raced a membership change.
+	Epoch uint64
 }
 
 // Counters accumulates transport statistics for one endpoint. All

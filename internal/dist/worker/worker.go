@@ -67,6 +67,14 @@ type session struct {
 	totalDocs int
 	// sorted caches sortedShards; nil after any shard mutation.
 	sorted []*shard
+	// asyncEpoch is the current asynchronous accumulator generation and
+	// asyncSweeps the KindAsyncUpdate sweeps served in it; KindAsyncAck
+	// reports the count and retires the epoch. Within a run epochs only
+	// move forward, so a sweep duplicated past a drain cannot feed a
+	// retired accumulator; KindReset rewinds them to zero with the rest
+	// of the session, since each run numbers its epochs from one.
+	asyncEpoch  uint64
+	asyncSweeps int
 }
 
 // sortedShards returns the loaded shards in ascending site order, the
@@ -89,12 +97,17 @@ func (s *session) sortedShards() []*shard {
 
 // clear drops all session state (the global cache is untouched — that
 // is the point of KindReset: a new run starts clean but stays warm).
+// The async epoch rewinds too: the coordinator numbers accumulator
+// generations from one within each run, and requests are serialized
+// per connection, so nothing from the drained run can still arrive.
 func (s *session) clear() {
 	s.shards = make(map[int]*shard)
 	s.numSites = 0
 	s.totalDocs = 0
 	s.chain = nil
 	s.sorted = nil
+	s.asyncEpoch = 0
+	s.asyncSweeps = 0
 }
 
 // Worker is a distributed-ranking peer. Zero workers are not useful:
@@ -336,6 +349,10 @@ func (w *Worker) handle(sess *session, req *wire.Request) *wire.Response {
 		return handlePowerRound(sess, req)
 	case wire.KindBatchRounds:
 		return handleBatchRounds(sess, req)
+	case wire.KindAsyncUpdate:
+		return handleAsyncUpdate(sess, req)
+	case wire.KindAsyncAck:
+		return handleAsyncAck(sess, req)
 	case wire.KindUnload:
 		return handleUnload(sess, req)
 	default:
@@ -653,6 +670,69 @@ func handlePowerRound(sess *session, req *wire.Request) *wire.Response {
 		}
 	}
 	return &wire.Response{Partial: partial, DanglingMass: dangling}
+}
+
+// handleAsyncUpdate serves one barrier-free SiteRank sweep: the exact
+// row-partition arithmetic of handlePowerRound plus the iterate mass on
+// the owned sites — the asynchronous merge combines partials taken from
+// different snapshots, so each contribution must carry its own mass for
+// the teleport coefficient instead of relying on a shared Σx. The
+// iterate is additionally checked finite: asynchronous iterates are
+// merged under accumulator state the coordinator keeps across sweeps,
+// where a NaN would propagate silently instead of failing a reduce.
+func handleAsyncUpdate(sess *session, req *wire.Request) *wire.Response {
+	if req.Epoch < sess.asyncEpoch {
+		return &wire.Response{Err: fmt.Sprintf("worker: async sweep for drained epoch %d (current %d)",
+			req.Epoch, sess.asyncEpoch)}
+	}
+	if req.NumSites != sess.numSites {
+		return &wire.Response{Err: fmt.Sprintf("worker: async sweep over %d sites but %d loaded",
+			req.NumSites, sess.numSites)}
+	}
+	if len(req.X) != req.NumSites {
+		return &wire.Response{Err: fmt.Sprintf("worker: iterate length %d vs %d sites", len(req.X), req.NumSites)}
+	}
+	for _, v := range req.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &wire.Response{Err: "worker: async sweep iterate is not finite"}
+		}
+	}
+	if req.Epoch > sess.asyncEpoch {
+		sess.asyncEpoch = req.Epoch
+		sess.asyncSweeps = 0
+	}
+	partial := make([]float64, req.NumSites)
+	var dangling, mass float64
+	for _, sh := range sess.sortedShards() {
+		xs := req.X[sh.site]
+		mass += xs
+		if len(sh.entry.rowCols) == 0 {
+			dangling += xs
+			continue
+		}
+		for k, col := range sh.entry.rowCols {
+			partial[col] += xs * sh.entry.rowVals[k]
+		}
+	}
+	sess.asyncSweeps++
+	return &wire.Response{Partial: partial, DanglingMass: dangling, Mass: mass, Epoch: req.Epoch}
+}
+
+// handleAsyncAck drains one asynchronous epoch: it reports the sweeps
+// served under it (Response.Rounds) and retires every epoch up to and
+// including the acknowledged one, so a sweep delayed past the drain is
+// refused rather than double-counted. Acks for already-retired epochs
+// are idempotent no-ops — a duplicated ack must not poison the session.
+func handleAsyncAck(sess *session, req *wire.Request) *wire.Response {
+	resp := &wire.Response{Epoch: req.Epoch}
+	if req.Epoch == sess.asyncEpoch {
+		resp.Rounds = sess.asyncSweeps
+	}
+	if req.Epoch >= sess.asyncEpoch {
+		sess.asyncEpoch = req.Epoch + 1
+		sess.asyncSweeps = 0
+	}
+	return resp
 }
 
 // maxBatchRounds bounds the CPU one KindBatchRounds request can claim;

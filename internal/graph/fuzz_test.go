@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,96 @@ func FuzzDecodeGob(f *testing.F) {
 		}
 		if verr := dg.Validate(); verr != nil {
 			t.Fatalf("accepted gob fails Validate: %v", verr)
+		}
+	})
+}
+
+// FuzzCloneCOW hardens the copy-on-write contract behind snapshot
+// serving: a parent and its CloneCOW clone share adjacency rows by
+// pointer, and a random interleaving of AddEdge/Dedupe on either side
+// must never write memory the other can read. The check is
+// differential — each side is mirrored onto an independent deep copy
+// receiving the same operation sequence, and any divergence (the clone
+// drifting from its reference, or a clone mutation leaking into the
+// parent) fails.
+func FuzzCloneCOW(f *testing.F) {
+	f.Add([]byte{4, 2, 0, 1, 1, 2, 0, 0, 1, 1, 1, 0})
+	f.Add([]byte{8, 3, 0, 1, 1, 2, 2, 3, 2, 0, 5, 3, 1, 6, 3, 0, 0})
+	f.Add([]byte{2, 1, 0, 1, 0, 0, 1, 1, 1, 0, 2, 0, 0, 3, 1, 1})
+	f.Add([]byte{16, 0, 0, 1, 1, 0, 2, 1, 1})
+	f.Add([]byte{})
+
+	sameEdges := func(a, b *Digraph) bool {
+		if len(a.out) != len(b.out) {
+			return false
+		}
+		for i := range a.out {
+			if len(a.out[i]) != len(b.out[i]) {
+				return false
+			}
+			for k := range a.out[i] {
+				if a.out[i][k] != b.out[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 2 + int(data[0])%14
+		k := int(data[1]) % 16
+		data = data[2:]
+		parent := NewDigraph(n)
+		for i := 0; i < k && len(data) >= 2; i++ {
+			parent.AddEdge(int(data[0])%n, int(data[1])%n, float64(1+data[1]%5))
+			data = data[2:]
+		}
+
+		// CloneCOW dedupes the parent first, so deep copies taken after it
+		// start bitwise equal to both sides of the COW pair.
+		cow := parent.CloneCOW()
+		refCow := parent.Clone()
+		refParent := parent.Clone()
+
+		for len(data) >= 3 {
+			sel, from, to := data[0], int(data[1])%n, int(data[2])%n
+			data = data[3:]
+			w := float64(1 + sel%5)
+			switch sel % 4 {
+			case 0:
+				cow.AddEdge(from, to, w)
+				refCow.AddEdge(from, to, w)
+			case 1:
+				parent.AddEdge(from, to, w)
+				refParent.AddEdge(from, to, w)
+			case 2:
+				cow.Dedupe()
+				refCow.Dedupe()
+			case 3:
+				parent.Dedupe()
+				refParent.Dedupe()
+			}
+		}
+
+		if !sameEdges(cow, refCow) {
+			t.Fatal("COW clone diverged from its deep-copy reference")
+		}
+		if !sameEdges(parent, refParent) {
+			t.Fatal("parent diverged from its deep-copy reference — a COW mutation leaked across the pair")
+		}
+		// The derived transition matrices must agree too: a corrupted
+		// shared row that happens to survive the edge-list comparison
+		// (e.g. a Dedupe sorting a row the other side still reads) would
+		// surface here.
+		if !reflect.DeepEqual(cow.TransitionMatrix(), refCow.TransitionMatrix()) {
+			t.Fatal("COW clone transition matrix diverged from its reference")
+		}
+		if !reflect.DeepEqual(parent.TransitionMatrix(), refParent.TransitionMatrix()) {
+			t.Fatal("parent transition matrix diverged from its reference")
 		}
 	})
 }

@@ -85,6 +85,26 @@ type (
 	// DistCheckpointState is one saved iterate: round, vector, and the
 	// digest binding it to its graph + configuration.
 	DistCheckpointState = coordinator.CheckpointState
+	// SiteRankMode selects how a distributed run computes its site
+	// chain's stationary distribution (DistConfig.SiteRank).
+	SiteRankMode = coordinator.SiteRankMode
+)
+
+// SiteRank modes for DistConfig.SiteRank.
+const (
+	// SiteRankAuto derives the mode from the legacy boolean/batching
+	// fields — the zero-value default.
+	SiteRankAuto = coordinator.SiteRankAuto
+	// SiteRankCentral solves the site chain on the coordinator.
+	SiteRankCentral = coordinator.SiteRankCentral
+	// SiteRankSync runs barrier-synchronous distributed power rounds.
+	SiteRankSync = coordinator.SiteRankSync
+	// SiteRankBatched runs multiple distributed rounds per barrier.
+	SiteRankBatched = coordinator.SiteRankBatched
+	// SiteRankAsync runs the barrier-free asynchronous protocol: workers
+	// sweep continuously, the coordinator merges in arrival order, and a
+	// synchronous verification pass confirms convergence.
+	SiteRankAsync = coordinator.SiteRankAsync
 )
 
 // NewFileDistCheckpoint stores SiteRank checkpoints in a file with
