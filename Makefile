@@ -72,13 +72,14 @@ docs:
 COVER_FLOOR   ?= 80
 COVER_PROFILE ?= cover.out
 cover:
-	$(GO) test -coverprofile=$(COVER_PROFILE) -coverpkg=./internal/dist/... \
-	    -timeout 10m ./internal/dist/... > /dev/null
+	$(GO) test -coverprofile=$(COVER_PROFILE) \
+	    -coverpkg=./internal/dist/...,./internal/partition/... \
+	    -timeout 10m ./internal/dist/... ./internal/partition/... > /dev/null
 	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	rm -f $(COVER_PROFILE); \
-	echo "internal/dist coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "internal/dist+partition coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
-		echo "internal/dist coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; \
+		echo "internal/dist+partition coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; \
 	}
 
 # Quick smoke pass over every benchmark in the module (bounded like

@@ -9,13 +9,23 @@
 //	         [-format text|gob] [-top 15] [-distributed-siterank]
 //	         [-siterank auto|central|sync|batched|async]
 //	         [-async-ordered] [-async-seed 42]
+//	         [-partition host|balanced|aggregate] [-partition-seed 0]
+//	         [-repartition-threshold 0.1]
 //	         [-batch-rounds 4] [-max-worker-failures 1] [-max-redials 0]
 //	         [-checkpoint siterank.ckpt] [-resume] [-runs 2]
 //	         [-compress] [-timeout 30s]
 //
-// Shards are balanced over the fleet by page count and negotiated
-// against the workers' digest caches, so with -runs > 1 every run after
-// the first ships near-zero shard bytes. -max-worker-failures lets a
+// Shards are placed over the fleet by the -partition strategy —
+// "balanced" (the default) spreads page count by weighted LPT,
+// "host" is hostname-order round-robin, and "aggregate" co-locates
+// strongly linked sites to minimize cut edges (seeded by
+// -partition-seed); each run prints its cut-edge quality — and
+// negotiated against the workers' digest caches, so with -runs > 1
+// every run after the first ships near-zero shard bytes.
+// -repartition-threshold records the cut-drift trigger in the run
+// config; it takes effect when the same config serves an updating
+// DistEngine (one-shot lmmcoord runs have no churn to react to).
+// -max-worker-failures lets a
 // run survive peers dying mid-flight (their shards are reassigned);
 // -max-redials additionally redials lost peers in the background with
 // jittered exponential backoff and re-admits them mid-run, rebalancing
@@ -47,6 +57,7 @@ import (
 	"lmmrank"
 	"lmmrank/internal/dist/coordinator"
 	"lmmrank/internal/graph"
+	"lmmrank/internal/partition"
 )
 
 func main() {
@@ -72,6 +83,9 @@ func run() error {
 		redials   = flag.Int("max-redials", 0, "background redial attempts per lost worker (0 = lost workers stay lost)")
 		ckptPath  = flag.String("checkpoint", "", "checkpoint the SiteRank iterate to this file (with -distributed-siterank)")
 		resume    = flag.Bool("resume", false, "resume the SiteRank iteration from the checkpoint file")
+		partName  = flag.String("partition", "balanced", "site placement strategy: host, balanced or aggregate")
+		partSeed  = flag.Int64("partition-seed", 0, "seed for the aggregate strategy's label propagation")
+		repartThr = flag.Float64("repartition-threshold", 0, "cut-fraction drift that triggers an online repartition when this config serves an updating engine (0 = disabled)")
 		runs      = flag.Int("runs", 1, "repeat the ranking; runs after the first hit the workers' shard caches")
 		compress  = flag.Bool("compress", false, "flate-compress shard payloads on the wire")
 		timeout   = flag.Duration("timeout", 0, "deadline per ranking run (0 = none); propagates into every worker exchange")
@@ -102,6 +116,17 @@ func run() error {
 	}
 	if *asyncOrd && mode != coordinator.SiteRankAsync {
 		return fmt.Errorf("-async-ordered needs -siterank async")
+	}
+	var strat partition.Strategy
+	switch *partName {
+	case "host":
+		strat = partition.Host{}
+	case "balanced":
+		strat = partition.Balanced{}
+	case "aggregate":
+		strat = partition.Aggregate{Seed: *partSeed}
+	default:
+		return fmt.Errorf("unknown -partition strategy %q (want host, balanced or aggregate)", *partName)
 	}
 	distributed := *distSite || mode == coordinator.SiteRankSync ||
 		mode == coordinator.SiteRankBatched || mode == coordinator.SiteRankAsync
@@ -151,13 +176,15 @@ func run() error {
 	fmt.Printf("precomputed ranking structure in %v\n", time.Since(prepStart).Round(time.Millisecond))
 
 	cfg := coordinator.Config{
-		Damping:             *damping,
-		DistributedSiteRank: *distSite,
-		SiteRank:            mode,
-		AsyncOrdered:        *asyncOrd,
-		AsyncSeed:           *asyncSeed,
-		BatchRounds:         *batch,
-		Compress:            *compress,
+		Damping:              *damping,
+		DistributedSiteRank:  *distSite,
+		SiteRank:             mode,
+		AsyncOrdered:         *asyncOrd,
+		AsyncSeed:            *asyncSeed,
+		BatchRounds:          *batch,
+		Compress:             *compress,
+		Partition:            strat,
+		RepartitionThreshold: *repartThr,
 		Retry: coordinator.RetryPolicy{
 			MaxWorkerFailures: *failures,
 			MaxRedials:        *redials,
@@ -224,6 +251,9 @@ func run() error {
 				res.Stats.AsyncUpdatesMerged, res.Stats.AsyncVerifyRounds)
 		}
 		fmt.Println()
+		fmt.Printf("run %d: partition %s: cut weight %.0f (%.2f%% of site-graph weight; ~%.1f KB cross-shard per doc-level sweep avoided)\n",
+			run, *partName, res.Stats.CutEdges, 100*res.Stats.CutFraction,
+			float64(res.Stats.CrossShardBytes)/1e3)
 	}
 	fmt.Println()
 

@@ -1,12 +1,16 @@
 // Command webgen generates a synthetic campus web — the evaluation
 // substrate standing in for the paper's EPFL crawl — and writes it as a
 // text or gob graph file, with ground-truth page classes in a sidecar
-// file when requested.
+// file when requested. With -blocky it instead generates a
+// planted-block web (cross-site links stay inside coupling blocks
+// except for a tunable escape fraction, and hostnames carry no block
+// information) — the substrate for partition-quality experiments.
 //
 // Usage:
 //
 //	webgen -out campus.graph [-format text|gob] [-seed N] [-sites 218]
 //	       [-mean-pages 60] [-dynamic 2500] [-docs 2500] [-labels labels.txt]
+//	       [-blocky] [-blocks 8] [-inter-block 0.05]
 package main
 
 import (
@@ -35,6 +39,9 @@ func run() error {
 		meanPages = flag.Int("mean-pages", 60, "mean pages per ordinary site")
 		dynamic   = flag.Int("dynamic", 2500, "Webdriver-style agglomerate size (0 disables)")
 		docs      = flag.Int("docs", 2500, "javadoc-style agglomerate size (0 disables)")
+		blocky    = flag.Bool("blocky", false, "generate a planted-block web instead of the campus web")
+		blocks    = flag.Int("blocks", 8, "number of planted coupling blocks (with -blocky)")
+		inter     = flag.Float64("inter-block", 0.05, "probability a cross-site link escapes its block (with -blocky)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -48,6 +55,9 @@ func run() error {
 		MeanSitePages:       *meanPages,
 		DynamicClusterPages: *dynamic,
 		DocClusterPages:     *docs,
+		Blocky:              *blocky,
+		Blocks:              *blocks,
+		InterBlockFraction:  *inter,
 	})
 
 	f, err := os.Create(*out)

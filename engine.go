@@ -10,6 +10,7 @@ import (
 
 	"lmmrank/internal/dist/coordinator"
 	"lmmrank/internal/lmm"
+	"lmmrank/internal/partition"
 )
 
 // Query is the unified serving request every Engine answers: one struct
@@ -535,12 +536,20 @@ func normalizeCtxErr(ctx context.Context, err error) error {
 }
 
 // distSnapshot is one immutable serving state of a DistEngine: the
-// graph, the structural Ranker built for exactly that graph, and the
-// in-flight table coalescing identical queries against it.
+// graph, the structural Ranker built for exactly that graph, the
+// in-flight table coalescing identical queries against it, and — when a
+// partition strategy is configured — the pinned site→shard assignment
+// every query under this snapshot serves with, plus the cut fraction
+// measured when that assignment was last (re)computed. baseCut is the
+// drift baseline: Update compares the carried assignment's cut against
+// it to decide whether churn has degraded the placement enough to
+// repartition online.
 type distSnapshot struct {
 	dg      *DocGraph
 	rk      *lmm.Ranker
 	flights *flightGroup
+	asg     partition.Assignment
+	baseCut float64
 }
 
 // DistEngine serves the same queries from a distributed fleet: local
@@ -559,13 +568,14 @@ type distSnapshot struct {
 // the swap completes against its old Ranker (whose graph never
 // mutated). The wire itself still serializes at the coordinator.
 type DistEngine struct {
-	coord    *coordinator.Coordinator
-	cfg      coordinator.Config
-	admit    *admitGate
-	coalesce bool
-	snap     atomic.Pointer[distSnapshot]
-	updateMu sync.Mutex
-	dirty    map[SiteID]bool
+	coord        *coordinator.Coordinator
+	cfg          coordinator.Config
+	admit        *admitGate
+	coalesce     bool
+	snap         atomic.Pointer[distSnapshot]
+	updateMu     sync.Mutex
+	dirty        map[SiteID]bool
+	repartitions atomic.Int64
 }
 
 var _ Engine = (*DistEngine)(nil)
@@ -593,7 +603,16 @@ func NewDistEngine(cl *Cluster, dg *DocGraph, cfg DistConfig) (*DistEngine, erro
 		coalesce: cfg.Coalesce,
 		dirty:    make(map[SiteID]bool),
 	}
-	e.snap.Store(&distSnapshot{dg: dg, rk: rk, flights: newFlightGroup()})
+	snap := &distSnapshot{dg: dg, rk: rk, flights: newFlightGroup()}
+	// With a partition strategy configured the engine pins the
+	// assignment per snapshot: every query serves under the same
+	// placement (stable digest caches) and Update measures cut-edge
+	// drift against the baseline recorded here.
+	if cfg.Partition != nil {
+		snap.asg = cfg.Partition.Partition(dg, cl.Coord.NumWorkers())
+		snap.baseCut = partition.CutFraction(rk.SiteGraph(), snap.asg.Owner)
+	}
+	e.snap.Store(snap)
 	return e, nil
 }
 
@@ -640,9 +659,51 @@ func (e *DistEngine) rebuildAndPublish(cur *distSnapshot, dg *DocGraph, changed 
 		return err
 	}
 	e.coord.RefreshPrepared(cur.rk, next, changed)
-	e.snap.Store(&distSnapshot{dg: dg, rk: next, flights: newFlightGroup()})
+	snap := &distSnapshot{dg: dg, rk: next, flights: newFlightGroup()}
+	if len(cur.asg.Owner) > 0 {
+		snap.asg, snap.baseCut = e.carryAssignment(cur, dg, next, changed)
+	}
+	e.snap.Store(snap)
 	clear(e.dirty)
 	return nil
+}
+
+// carryAssignment decides the next snapshot's placement after churn.
+// The zero-migration default extends the current assignment over any
+// new sites; the resulting cut fraction is compared against the
+// baseline recorded at the last (re)partition, and when the drift
+// exceeds cfg.RepartitionThreshold the strategy's Rebalance
+// re-optimizes online. A moved shard then migrates through the normal
+// serving path: RefreshPrepared (above) has already re-keyed the digest
+// memo, so the next Rank's KindOffer negotiation re-ships only shards
+// whose new owner has never cached their content — a clean shard moving
+// to a warm worker costs one digest exchange, not a payload.
+func (e *DistEngine) carryAssignment(cur *distSnapshot, dg *DocGraph, rk *lmm.Ranker, changed []SiteID) (partition.Assignment, float64) {
+	ext := partition.Extend(dg, cur.asg)
+	frac := partition.CutFraction(rk.SiteGraph(), ext.Owner)
+	thr := e.cfg.RepartitionThreshold
+	if thr <= 0 || e.cfg.Partition == nil || frac-cur.baseCut <= thr {
+		return ext, cur.baseCut
+	}
+	reb := e.cfg.Partition.Rebalance(dg, changed, ext)
+	e.repartitions.Add(1)
+	return reb, partition.CutFraction(rk.SiteGraph(), reb.Owner)
+}
+
+// Repartitions reports how many online repartitions Update has
+// triggered over the engine's lifetime — always 0 unless a Partition
+// strategy and a positive RepartitionThreshold are configured.
+func (e *DistEngine) Repartitions() int { return int(e.repartitions.Load()) }
+
+// PartitionOwners returns a copy of the site→shard assignment the
+// current snapshot serves under, or nil when no Partition strategy was
+// configured (the coordinator then places per run with its default).
+func (e *DistEngine) PartitionOwners() []int {
+	snap := e.snap.Load()
+	if len(snap.asg.Owner) == 0 {
+		return nil
+	}
+	return append([]int(nil), snap.asg.Owner...)
 }
 
 // Rank answers one query against the fleet. The context's deadline
@@ -683,6 +744,11 @@ func (e *DistEngine) rankSnap(ctx context.Context, snap *distSnapshot, q Query) 
 	cfg.SitePersonalization = q.SitePersonalization
 	cfg.ThreeLayer = q.ThreeLayer
 	cfg.DomainOf = q.DomainOf
+	if len(snap.asg.Owner) > 0 {
+		// Serve under the snapshot's pinned placement (falls back to the
+		// strategy inside the coordinator if the live fleet shrank).
+		cfg.Assignment = snap.asg.Owner
+	}
 	dres, err := e.coord.RankPreparedCtx(ctx, snap.rk, cfg)
 	if err != nil {
 		return nil, err

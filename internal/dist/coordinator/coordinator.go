@@ -8,9 +8,11 @@
 // The runtime is production-shaped along three axes. Fault tolerance:
 // with a RetryPolicy budget, a peer dying mid-run is detected at the
 // failing exchange, its site shards are reassigned to the lightest
-// surviving workers and only the affected work is re-run. Balance:
-// sites are spread by document count (weighted LPT bin packing), not
-// round-robin, so one giant site cannot serialize the fleet. Wire cost:
+// surviving workers and only the affected work is re-run. Placement:
+// the site→worker assignment is a pluggable partition.Strategy —
+// weighted LPT by default so one giant site cannot serialize the fleet,
+// or coupling-aware aggregation that co-locates strongly linked sites —
+// and every run reports its cut-edge quality in Stats. Wire cost:
 // shards are content-addressed and negotiated against worker-side
 // digest caches before shipping (repeated runs over an unchanged graph
 // ship near-zero shard bytes), and Config.BatchRounds trades one
@@ -32,6 +34,7 @@ import (
 	"lmmrank/internal/lmm"
 	"lmmrank/internal/matrix"
 	"lmmrank/internal/pagerank"
+	"lmmrank/internal/partition"
 )
 
 // DefaultDialTimeout bounds Dial per worker so a dead address fails
@@ -251,6 +254,29 @@ type Config struct {
 	MaxInFlight    int
 	RejectOverload bool
 	Coalesce       bool
+	// Partition selects the site→shard placement strategy (nil =
+	// partition.Balanced, the weighted-LPT default). The strategy only
+	// decides which worker serves which sites — the Partition Theorem
+	// guarantees the composed DocRank is identical for every choice —
+	// so it trades load balance against cut-edge volume (see
+	// Stats.CutFraction).
+	Partition partition.Strategy
+	// Assignment, when non-nil, pins the site→shard placement instead
+	// of consulting Partition: Assignment[s] is the abstract shard of
+	// site s, and shard j maps onto the j-th live worker in ascending
+	// fleet order. The root DistEngine pins the assignment it computed
+	// at build time so every query and rejoin rebalance agrees with the
+	// snapshot's placement. A pin that no longer fits (wrong length, or
+	// an owner outside the live fleet after a permanent loss) falls back
+	// to the strategy.
+	Assignment []int
+	// RepartitionThreshold is consumed by the root DistEngine's Update
+	// path, not the coordinator: when an applied delta drifts the
+	// cut-edge fraction more than this above the last repartition's
+	// baseline, the engine re-runs the strategy and migrates shards
+	// through the digest-cache negotiation. Zero or negative disables
+	// online repartitioning.
+	RepartitionThreshold float64
 }
 
 func (c Config) damping() float64 {
@@ -396,6 +422,21 @@ type Stats struct {
 	// confirm a candidate convergence of the asynchronous phase — the
 	// rounds that make the residual estimate's optimism harmless.
 	AsyncVerifyRounds int
+	// CutEdges is the SiteGraph link weight (document-link multiplicity,
+	// aggregated per site pair under Config.SiteGraph) between sites
+	// placed on different workers this run — the coupling the
+	// distributed computation carries between peers. CutFraction is the
+	// same weight as a fraction of the SiteGraph's total; it is the
+	// partition-quality number the Aggregate strategy minimizes.
+	CutEdges    float64
+	CutFraction float64
+	// CrossShardBytes estimates the per-sweep payload a document-level
+	// edge exchange would ship across shard boundaries under this
+	// placement (CutEdges × the gob cost of one wire edge). The LMM
+	// protocol never ships document edges — that is the paper's point —
+	// so this is the counterfactual volume the partition avoids, not a
+	// measured transfer.
+	CrossShardBytes uint64
 }
 
 // Result is the outcome of a distributed ranking run. Every vector is

@@ -162,11 +162,13 @@ func (c *Coordinator) rankPrepared(ctx context.Context, rk *lmm.Ranker, cfg Conf
 	r.startRedialers()
 	defer r.stopRedialers()
 
-	// Partition and ship: shards balanced by page count over the live
-	// fleet, delivered through the workers' digest caches.
+	// Partition and ship: the configured strategy (or pinned
+	// assignment) places sites over the live fleet, delivered through
+	// the workers' digest caches.
 	loadStart := time.Now()
 	r.buildShards()
-	r.owner = assignSites(r.sizes, r.aliveIdxs(), r.load)
+	r.owner = r.assignOwners()
+	r.computeCutStats()
 	need := make(map[int]struct{}, r.ns)
 	for s := 0; s < r.ns; s++ {
 		need[s] = struct{}{}
@@ -549,13 +551,13 @@ func (r *run) readmit(rj rejoin) error {
 	r.load[idx] = 0
 	r.stats.WorkersRejoined++
 
-	// Rebalance back: recompute the ideal LPT assignment over the
-	// restored fleet (fresh loads) and move exactly the sites whose
-	// ideal owner is the rejoiner. LPT is deterministic, so when the
-	// fleet's liveness returns to what it was at run start these are
-	// precisely the sites the rejoiner held before it died — warm in
-	// its digest cache.
-	ideal := assignSites(r.sizes, r.aliveIdxs(), make([]int, len(r.c.workers)))
+	// Rebalance back: recompute the ideal placement over the restored
+	// fleet and move exactly the sites whose ideal owner is the
+	// rejoiner. Strategies are deterministic (and a pinned assignment
+	// is fixed outright), so when the fleet's liveness returns to what
+	// it was at run start these are precisely the sites the rejoiner
+	// held before it died — warm in its digest cache.
+	ideal := r.idealOwners()
 	moved := make(map[int]struct{})
 	prevOwner := make(map[int][]int)
 	for s := 0; s < r.ns; s++ {

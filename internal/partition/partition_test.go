@@ -1,0 +1,305 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"lmmrank/internal/graph"
+	"lmmrank/internal/webgen"
+)
+
+// fixtureGraph builds a DocGraph whose site sizes are exactly sizes.
+func fixtureGraph(t *testing.T, sizes []int) *graph.DocGraph {
+	t.Helper()
+	b := graph.NewBuilder()
+	var prev graph.DocID
+	for s, n := range sizes {
+		host := fmt.Sprintf("site%03d.example", s)
+		for p := 0; p < n; p++ {
+			d := b.AddDocInSite(fmt.Sprintf("http://%s/p%d", host, p), host)
+			if d > 0 {
+				b.LinkIDs(prev, d)
+				b.LinkIDs(d, prev)
+			}
+			prev = d
+		}
+	}
+	return b.Build()
+}
+
+func maxLoad(owner, sizes []int, k int) int {
+	load := make([]int, k)
+	for s, o := range owner {
+		load[o] += sizes[s]
+	}
+	m := 0
+	for _, l := range load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TestLPTBeatsRoundRobinOnSkew ports the old coordinator assign test:
+// on a skewed size distribution LPT's bottleneck shard beats
+// round-robin and stays within the 4/3 approximation bound.
+func TestLPTBeatsRoundRobinOnSkew(t *testing.T) {
+	sizes := []int{400, 10, 90, 10, 80, 10, 70, 10, 60, 10}
+	const k = 3
+	owner := LPT(sizes, k, make([]int, k))
+
+	rr := make([]int, len(sizes))
+	for s := range rr {
+		rr[s] = s % k
+	}
+	lptMax, rrMax := maxLoad(owner, sizes, k), maxLoad(rr, sizes, k)
+	if lptMax >= rrMax {
+		t.Errorf("LPT bottleneck %d did not beat round-robin %d", lptMax, rrMax)
+	}
+	// LPT guarantee: max load ≤ 4/3 · OPT, and OPT ≥ max(total/k, largest).
+	total, largest := 0, 0
+	for _, sz := range sizes {
+		total += sz
+		if sz > largest {
+			largest = sz
+		}
+	}
+	opt := (total + k - 1) / k
+	if largest > opt {
+		opt = largest
+	}
+	if 3*lptMax > 4*opt {
+		t.Errorf("LPT bottleneck %d exceeds 4/3 bound (opt lower bound %d)", lptMax, opt)
+	}
+}
+
+func TestLPTDeterministic(t *testing.T) {
+	sizes := []int{5, 5, 9, 2, 2, 7, 1, 8, 3, 3, 6}
+	a := LPT(sizes, 4, make([]int, 4))
+	for i := 0; i < 10; i++ {
+		b := LPT(sizes, 4, make([]int, 4))
+		for s := range a {
+			if a[s] != b[s] {
+				t.Fatalf("run %d: owner[%d] = %d, want %d", i, s, b[s], a[s])
+			}
+		}
+	}
+}
+
+func TestHostRoundRobinAndStability(t *testing.T) {
+	dg := fixtureGraph(t, []int{4, 4, 4, 4, 4, 4, 4})
+	asg := Host{}.Partition(dg, 3)
+	if !asg.Valid(dg.NumSites(), 3) {
+		t.Fatalf("invalid assignment %+v", asg)
+	}
+	for s, o := range asg.Owner {
+		if o != s%3 {
+			t.Errorf("owner[%d] = %d, want %d", s, o, s%3)
+		}
+	}
+	// Appending sites must not move existing ones.
+	dg2 := fixtureGraph(t, []int{4, 4, 4, 4, 4, 4, 4, 4, 4})
+	reb := Host{}.Rebalance(dg2, []graph.SiteID{7, 8}, asg)
+	for s := range asg.Owner {
+		if reb.Owner[s] != asg.Owner[s] {
+			t.Errorf("host rebalance moved site %d: %d → %d", s, asg.Owner[s], reb.Owner[s])
+		}
+	}
+}
+
+func TestBalancedRebalanceKeepsUnchangedSites(t *testing.T) {
+	sizes := []int{30, 8, 8, 22, 5, 14, 9, 11}
+	dg := fixtureGraph(t, sizes)
+	prev := Balanced{}.Partition(dg, 3)
+	reb := Balanced{}.Rebalance(dg, []graph.SiteID{1, 4}, prev)
+	if !reb.Valid(dg.NumSites(), 3) {
+		t.Fatalf("invalid rebalance %+v", reb)
+	}
+	for s := range prev.Owner {
+		if s == 1 || s == 4 {
+			continue
+		}
+		if reb.Owner[s] != prev.Owner[s] {
+			t.Errorf("rebalance moved unchanged site %d: %d → %d", s, prev.Owner[s], reb.Owner[s])
+		}
+	}
+}
+
+func TestExtendKeepsExistingSites(t *testing.T) {
+	prevG := fixtureGraph(t, []int{10, 10, 10, 10})
+	prev := Balanced{}.Partition(prevG, 2)
+	grown := fixtureGraph(t, []int{10, 10, 10, 10, 6, 6})
+	ext := Extend(grown, prev)
+	if !ext.Valid(grown.NumSites(), 2) {
+		t.Fatalf("invalid extension %+v", ext)
+	}
+	for s := range prev.Owner {
+		if ext.Owner[s] != prev.Owner[s] {
+			t.Errorf("extend moved site %d: %d → %d", s, prev.Owner[s], ext.Owner[s])
+		}
+	}
+}
+
+func TestAssignmentValidAndClone(t *testing.T) {
+	a := Assignment{Owner: []int{0, 1, 1, 0}, Shards: 2}
+	if !a.Valid(4, 2) {
+		t.Error("valid assignment rejected")
+	}
+	if a.Valid(3, 2) || a.Valid(4, 3) {
+		t.Error("mismatched shape accepted")
+	}
+	if (Assignment{Owner: []int{0, 2}, Shards: 2}).Valid(2, 2) {
+		t.Error("out-of-range owner accepted")
+	}
+	c := a.Clone()
+	c.Owner[0] = 1
+	if a.Owner[0] != 0 {
+		t.Error("Clone aliases Owner")
+	}
+}
+
+func blockyWeb(seed int64) *webgen.Web {
+	return webgen.Generate(webgen.Config{
+		Seed:              seed,
+		Blocky:            true,
+		Sites:             48,
+		Blocks:            8,
+		MeanSitePages:     12,
+		IntraLinksPerPage: 2,
+		InterLinkFraction: 0.3,
+	})
+}
+
+// TestAggregateCutReductionOnBlockyWeb pins the headline property:
+// on a planted-block web the coupling-aware strategy cuts at least 30%
+// less inter-shard edge weight than hostname-order placement.
+func TestAggregateCutReductionOnBlockyWeb(t *testing.T) {
+	web := blockyWeb(7)
+	dg := web.Graph
+	const k = 4
+	sg := graph.DeriveSiteGraph(dg, graph.SiteGraphOptions{})
+
+	host := Host{}.Partition(dg, k)
+	agg := Aggregate{Seed: 1}.Partition(dg, k)
+	if !agg.Valid(dg.NumSites(), k) {
+		t.Fatalf("invalid aggregate assignment %+v", agg)
+	}
+	hostCut := CutFraction(sg, host.Owner)
+	aggCut := CutFraction(sg, agg.Owner)
+	t.Logf("cut fraction: host %.4f, aggregate %.4f", hostCut, aggCut)
+	if hostCut == 0 {
+		t.Fatal("blocky web produced no host-cut edges; fixture is degenerate")
+	}
+	if aggCut > 0.7*hostCut {
+		t.Errorf("aggregate cut %.4f not ≥30%% below host cut %.4f", aggCut, hostCut)
+	}
+}
+
+// TestAggregateRespectsCapacity pins the documented balance bound: no
+// shard exceeds max(ceil(total/k · 1.25), largest site).
+func TestAggregateRespectsCapacity(t *testing.T) {
+	web := blockyWeb(11)
+	dg := web.Graph
+	const k = 4
+	agg := Aggregate{Seed: 3}.Partition(dg, k)
+
+	sizes := make([]int, dg.NumSites())
+	total, largest := 0, 0
+	for s := range sizes {
+		sizes[s] = dg.SiteSize(graph.SiteID(s))
+		total += sizes[s]
+		if sizes[s] > largest {
+			largest = sizes[s]
+		}
+	}
+	capacity := int(float64(total)/k*1.25) + 1
+	if capacity < largest {
+		capacity = largest
+	}
+	if got := maxLoad(agg.Owner, sizes, k); got > capacity {
+		t.Errorf("max shard load %d exceeds capacity %d", got, capacity)
+	}
+}
+
+func TestAggregateDeterministicPerSeed(t *testing.T) {
+	web := blockyWeb(5)
+	a := Aggregate{Seed: 42}.Partition(web.Graph, 4)
+	for i := 0; i < 3; i++ {
+		b := Aggregate{Seed: 42}.Partition(web.Graph, 4)
+		for s := range a.Owner {
+			if a.Owner[s] != b.Owner[s] {
+				t.Fatalf("run %d: owner[%d] = %d, want %d", i, s, b.Owner[s], a.Owner[s])
+			}
+		}
+	}
+}
+
+// TestAggregateRebalanceIsStable pins that Rebalance from an already
+// optimized assignment with no graph change moves nothing: refinement
+// only takes strictly-improving moves.
+func TestAggregateRebalanceIsStable(t *testing.T) {
+	web := blockyWeb(9)
+	agg := Aggregate{Seed: 2}
+	prev := agg.Partition(web.Graph, 4)
+	reb := agg.Rebalance(web.Graph, []graph.SiteID{0, 1}, prev)
+	for s := range prev.Owner {
+		if reb.Owner[s] != prev.Owner[s] {
+			t.Errorf("no-op rebalance moved site %d: %d → %d", s, prev.Owner[s], reb.Owner[s])
+		}
+	}
+}
+
+func TestStrategyNamesAndClamps(t *testing.T) {
+	dg := fixtureGraph(t, []int{3, 3})
+	for _, tc := range []struct {
+		st   Strategy
+		name string
+	}{
+		{Host{}, "host"},
+		{Balanced{}, "balanced"},
+		{Aggregate{}, "aggregate"},
+	} {
+		if got := tc.st.Name(); got != tc.name {
+			t.Errorf("Name() = %q, want %q", got, tc.name)
+		}
+		asg := tc.st.Partition(dg, 0) // non-positive shard counts clamp to 1
+		if !asg.Valid(dg.NumSites(), 1) {
+			t.Errorf("%s: clamped partition invalid: %+v", tc.name, asg)
+		}
+		reb := tc.st.Rebalance(dg, nil, asg)
+		if !reb.Valid(dg.NumSites(), 1) {
+			t.Errorf("%s: clamped rebalance invalid: %+v", tc.name, reb)
+		}
+	}
+}
+
+func TestCutCountsOnlyCrossShardWeight(t *testing.T) {
+	// Two sites, heavy intra-site traffic, one inter-site link each way.
+	b := graph.NewBuilder()
+	a0 := b.AddDocInSite("http://a/0", "a")
+	a1 := b.AddDocInSite("http://a/1", "a")
+	c0 := b.AddDocInSite("http://c/0", "c")
+	c1 := b.AddDocInSite("http://c/1", "c")
+	b.LinkIDs(a0, a1)
+	b.LinkIDs(a1, a0)
+	b.LinkIDs(c0, c1)
+	b.LinkIDs(a0, c0)
+	b.LinkIDs(c1, a1)
+	dg := b.Build()
+	sg := graph.DeriveSiteGraph(dg, graph.SiteGraphOptions{})
+
+	cut, total := Cut(sg, []int{0, 1})
+	if cut != 2 {
+		t.Errorf("cut = %g, want 2 (the two inter-site links)", cut)
+	}
+	if total != 5 {
+		t.Errorf("total = %g, want 5", total)
+	}
+	if got, _ := Cut(sg, []int{0, 0}); got != 0 {
+		t.Errorf("co-located cut = %g, want 0", got)
+	}
+	if f := CutFraction(sg, []int{0, 1}); f != 0.4 {
+		t.Errorf("CutFraction = %g, want 0.4", f)
+	}
+}

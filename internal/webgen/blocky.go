@@ -1,0 +1,144 @@
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lmmrank/internal/graph"
+)
+
+// generateBlocky builds the planted-block web: cfg.Sites sites split
+// into cfg.Blocks blocks contiguous in SiteID, where a page's cross-site
+// links stay inside its block except with probability
+// cfg.InterBlockFraction. Hostnames are flat (site000.web.example, ...)
+// so nothing about the name reveals the block; hostname-order placement
+// (site mod shards) therefore scatters every block across all shards
+// while a coupling-aware partition can recover them. Ring links over the
+// site homes of each block and over the block leads keep the site graph
+// connected.
+func generateBlocky(cfg Config) *Web {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder()
+	ns, nb := cfg.Sites, cfg.Blocks
+	if nb > ns {
+		nb = ns
+	}
+
+	blockOf := make([]int, ns)
+	siteHomes := make([]graph.DocID, ns)
+	sitePages := make([][]graph.DocID, ns)
+	for s := 0; s < ns; s++ {
+		blockOf[s] = s * nb / ns
+		host := fmt.Sprintf("site%03d.web.example", s)
+		n := blockySiteSize(rng, cfg.MeanSitePages)
+
+		home := b.AddDocInSite("http://"+host+"/", host)
+		pages := make([]graph.DocID, 0, n)
+		pages = append(pages, home)
+		for p := 1; p < n; p++ {
+			d := b.AddDocInSite(fmt.Sprintf("http://%s/page%d.html", host, p), host)
+			parent := home
+			if p > 1 && rng.Float64() > 0.4 {
+				parent = pages[rng.Intn(p)]
+			}
+			b.LinkIDs(parent, d)
+			b.LinkIDs(d, parent)
+			b.LinkIDs(d, home)
+			pages = append(pages, d)
+		}
+		for e := 0; e < cfg.IntraLinksPerPage*len(pages); e++ {
+			from := pages[rng.Intn(len(pages))]
+			to := pages[rng.Intn(len(pages))]
+			if from != to {
+				b.LinkIDs(from, to)
+			}
+		}
+		siteHomes[s] = home
+		sitePages[s] = pages
+	}
+
+	members := make([][]int, nb)
+	for s, bl := range blockOf {
+		members[bl] = append(members[bl], s)
+	}
+	// Connectivity fabric: a home ring inside each block, and a lead-home
+	// ring across blocks.
+	for _, sites := range members {
+		for i, s := range sites {
+			t := sites[(i+1)%len(sites)]
+			if t != s {
+				b.LinkIDs(siteHomes[s], siteHomes[t])
+				b.LinkIDs(siteHomes[t], siteHomes[s])
+			}
+		}
+	}
+	for bl := 0; bl < nb; bl++ {
+		next := (bl + 1) % nb
+		if len(members[bl]) == 0 || len(members[next]) == 0 || bl == next {
+			continue
+		}
+		b.LinkIDs(siteHomes[members[bl][0]], siteHomes[members[next][0]])
+		b.LinkIDs(siteHomes[members[next][0]], siteHomes[members[bl][0]])
+	}
+
+	// Organic cross-site links, block-local except for the planted
+	// escape fraction.
+	for s, pages := range sitePages {
+		for _, p := range pages {
+			if rng.Float64() >= cfg.InterLinkFraction {
+				continue
+			}
+			ts := s
+			if rng.Float64() < cfg.InterBlockFraction {
+				for tries := 0; tries < 16 && blockOf[ts] == blockOf[s]; tries++ {
+					ts = rng.Intn(ns)
+				}
+			} else {
+				sites := members[blockOf[s]]
+				ts = sites[rng.Intn(len(sites))]
+			}
+			if ts == s {
+				continue
+			}
+			target := siteHomes[ts]
+			if rng.Float64() < 0.3 {
+				target = sitePages[ts][rng.Intn(len(sitePages[ts]))]
+			}
+			b.LinkIDs(p, target)
+		}
+	}
+
+	dg := b.Build()
+	w := &Web{
+		Graph:    dg,
+		Class:    make([]PageClass, dg.NumDocs()),
+		MainHome: siteHomes[0],
+		BlockOf:  blockOf,
+	}
+	for d := range w.Class {
+		w.Class[d] = ClassNormal
+	}
+	for _, h := range siteHomes {
+		w.Class[h] = ClassHome
+	}
+	return w
+}
+
+// blockySiteSize draws a mildly Pareto-skewed site size around mean —
+// enough spread that balance still matters, without the campus web's
+// order-of-magnitude main site.
+func blockySiteSize(rng *rand.Rand, mean int) int {
+	u := rng.Float64()
+	if u < 1e-6 {
+		u = 1e-6
+	}
+	size := int(float64(mean) / 2 / math.Sqrt(u))
+	if size < 3 {
+		size = 3
+	}
+	if size > mean*10 {
+		size = mean * 10
+	}
+	return size
+}

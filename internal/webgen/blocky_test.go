@@ -1,0 +1,74 @@
+package webgen
+
+import (
+	"testing"
+
+	"lmmrank/internal/graph"
+)
+
+func blockyCfg(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		Blocky:            true,
+		Sites:             40,
+		Blocks:            5,
+		MeanSitePages:     10,
+		IntraLinksPerPage: 2,
+		InterLinkFraction: 0.3,
+	}
+}
+
+func TestBlockyPlantsBlockStructure(t *testing.T) {
+	w := Generate(blockyCfg(3))
+	dg := w.Graph
+	if dg.NumSites() != 40 {
+		t.Fatalf("NumSites = %d, want 40", dg.NumSites())
+	}
+	if len(w.BlockOf) != 40 {
+		t.Fatalf("BlockOf length %d, want 40", len(w.BlockOf))
+	}
+	seen := map[int]bool{}
+	for _, b := range w.BlockOf {
+		if b < 0 || b >= 5 {
+			t.Fatalf("block %d out of range", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("only %d of 5 blocks populated", len(seen))
+	}
+
+	// The planted structure must dominate: inter-site link weight inside
+	// blocks far exceeds the escaping weight.
+	sg := graph.DeriveSiteGraph(dg, graph.SiteGraphOptions{DropSelfLoops: true})
+	var intra, inter float64
+	sg.G.EachEdgeAll(func(from int, e graph.Edge) {
+		if w.BlockOf[from] == w.BlockOf[e.To] {
+			intra += e.Weight
+		} else {
+			inter += e.Weight
+		}
+	})
+	if intra == 0 || inter == 0 {
+		t.Fatalf("degenerate block web: intra %g, inter %g", intra, inter)
+	}
+	if inter > 0.25*intra {
+		t.Errorf("inter-block weight %g not small next to intra-block %g", inter, intra)
+	}
+}
+
+func TestBlockyDeterministic(t *testing.T) {
+	a := Generate(blockyCfg(9))
+	b := Generate(blockyCfg(9))
+	if a.Graph.NumDocs() != b.Graph.NumDocs() || a.Graph.G.NumEdges() != b.Graph.G.NumEdges() {
+		t.Errorf("same seed differs: %d/%d docs, %d/%d edges",
+			a.Graph.NumDocs(), b.Graph.NumDocs(), a.Graph.G.NumEdges(), b.Graph.G.NumEdges())
+	}
+}
+
+func TestBlockyClassicModeUnaffected(t *testing.T) {
+	w := Generate(Config{Seed: 4, Sites: 10, MeanSitePages: 8, DynamicClusterPages: 20, DocClusterPages: 20})
+	if w.BlockOf != nil {
+		t.Errorf("campus web has BlockOf = %v, want nil", w.BlockOf)
+	}
+}

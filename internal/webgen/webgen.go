@@ -98,6 +98,20 @@ type Config struct {
 	// main home pages; agglomerates exist only on the first campus. Sites
 	// counts all ordinary sites per campus.
 	Campuses int
+	// Blocky switches to the planted-block generator: Sites sites whose
+	// cross-site links stay inside Blocks coupling blocks except with
+	// probability InterBlockFraction. Hostnames carry no block
+	// information and blocks are contiguous in SiteID, so hostname-order
+	// placement scatters every block — the regime where partition choice
+	// matters. Campus features (authorities, agglomerates) are absent in
+	// this mode.
+	Blocky bool
+	// Blocks is the number of planted coupling blocks (default 8; Blocky
+	// mode only).
+	Blocks int
+	// InterBlockFraction is the probability that a cross-site link
+	// escapes its block (default 0.05; Blocky mode only).
+	InterBlockFraction float64
 }
 
 // Default returns the default configuration at laptop scale: the paper's
@@ -148,6 +162,14 @@ func (c Config) withDefaults() Config {
 	if c.Campuses == 0 {
 		c.Campuses = 1
 	}
+	if c.Blocky {
+		if c.Blocks == 0 {
+			c.Blocks = 8
+		}
+		if c.InterBlockFraction == 0 {
+			c.InterBlockFraction = 0.05
+		}
+	}
 	return c
 }
 
@@ -159,6 +181,10 @@ type Web struct {
 	Class []PageClass
 	// MainHome is the DocID of the main site's home page.
 	MainHome graph.DocID
+	// BlockOf is the planted coupling block per SiteID (Blocky mode
+	// only; nil for campus webs) — the ground truth partition-quality
+	// experiments compare recovered shards against.
+	BlockOf []int
 }
 
 // SpamFlags returns the per-document agglomerate flags used by the
@@ -195,9 +221,13 @@ type gen struct {
 	prefTargets []graph.DocID
 }
 
-// Generate builds a synthetic campus web.
+// Generate builds a synthetic campus web (or a planted-block web when
+// cfg.Blocky is set).
 func Generate(cfg Config) *Web {
 	cfg = cfg.withDefaults()
+	if cfg.Blocky {
+		return generateBlocky(cfg)
+	}
 	g := &gen{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
