@@ -9,15 +9,16 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: ci check fmt vet build test race chaos cover bench bench-smoke docs
+.PHONY: ci check fmt vet lint build test race race-multi chaos cover fuzz-smoke bench bench-smoke bench-gate docs
 
 # The umbrella target CI calls: the fast gate, the race detector over
-# the concurrency-heavy packages, the deterministic-seed fault sweep,
-# the distributed-runtime coverage floor, and a 1x smoke pass over
-# every benchmark (so the E-series cannot rot between bench sessions).
-ci: check race chaos cover bench-smoke
+# the concurrency-heavy packages (single- and multi-core), the
+# deterministic-seed fault sweep, the coverage floors, a bounded fuzz
+# smoke, a 1x smoke pass over every benchmark (so the E-series cannot
+# rot between bench sessions), and the benchmark regression gate.
+ci: check race race-multi chaos cover fuzz-smoke bench-smoke bench-gate
 
-check: fmt vet build test docs
+check: fmt vet lint build test docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,6 +28,25 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Deep static analysis and the vulnerability scan, pinned via `go run`
+# tool versions so every machine lints identically without polluting
+# go.mod. Both need the module proxy to fetch the tool on first use;
+# an offline toolchain (no proxy, no cache) skips with a notice instead
+# of failing the build — hosted CI has the network and enforces them.
+STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
+lint:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "lint: staticcheck unavailable (offline toolchain?); skipped"; \
+	fi
+	@if $(GO) run $(GOVULNCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK) ./...; \
+	else \
+		echo "lint: govulncheck unavailable (offline toolchain?); skipped"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -41,6 +61,14 @@ test:
 # stalling CI for the runner's full budget.
 race:
 	$(GO) test -race -timeout 10m . ./internal/dist/... ./internal/lmm/...
+
+# The multicore race leg: the serving pool, keyed admission and
+# coalescing paths schedule very differently on one core than on four,
+# and a race that needs real parallelism to interleave never fires at
+# GOMAXPROCS=1. -count=1 defeats the test cache — a cached verdict from
+# a different GOMAXPROCS proves nothing.
+race-multi:
+	GOMAXPROCS=4 $(GO) test -race -timeout 10m -count=1 .
 
 # The fault-injection sweep: the seeded kill/rejoin/resume soak over the
 # chaos-proxied fleet, race-checked. The seed is fixed in the test, so a
@@ -64,13 +92,15 @@ docs:
 		echo "every package needs a '// Package ...' or '// Command ...' godoc comment"; exit 1; \
 	fi
 
-# Coverage floor on the distributed runtime: the merged statement
-# coverage of every internal/dist package's tests over the whole
-# internal/dist tree must not fall below COVER_FLOOR percent. The tree
-# measured 86.5% when the gate was introduced; the floor leaves
-# headroom for noise without letting the protocol tests rot.
-COVER_FLOOR   ?= 80
-COVER_PROFILE ?= cover.out
+# Coverage floors. internal/dist+partition: the merged statement
+# coverage of the distributed runtime's tests must not fall below
+# COVER_FLOOR percent (the tree measured 86.5% when the gate was
+# introduced). Root package: the engine/serving/admission paths must
+# not fall below ROOT_COVER_FLOOR percent (89.4% when introduced).
+# Both floors leave headroom for noise without letting the tests rot.
+COVER_FLOOR      ?= 80
+ROOT_COVER_FLOOR ?= 75
+COVER_PROFILE    ?= cover.out
 cover:
 	$(GO) test -coverprofile=$(COVER_PROFILE) \
 	    -coverpkg=./internal/dist/...,./internal/partition/... \
@@ -81,11 +111,36 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
 		echo "internal/dist+partition coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; \
 	}
+	$(GO) test -coverprofile=$(COVER_PROFILE) -coverpkg=. -timeout 10m . > /dev/null
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f $(COVER_PROFILE); \
+	echo "root lmmrank coverage: $$total% (floor $(ROOT_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(ROOT_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
+		echo "root lmmrank coverage $$total% fell below the $(ROOT_COVER_FLOOR)% floor"; exit 1; \
+	}
 
 # Quick smoke pass over every benchmark in the module (bounded like
 # `race`, for the same CI reason).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -timeout 10m -run '^$$' ./...
+
+# Bounded fuzz smoke over every fuzz target, one `go test -fuzz` run
+# per target (the flag takes a single target per package). Keeps the
+# corpus-driven guards — COW clone isolation and coalescing-fingerprint
+# safety — from rotting between dedicated fuzz sessions.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzCloneCOW$$' -fuzztime $(FUZZTIME) -timeout 10m ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzQueryFingerprint$$' -fuzztime $(FUZZTIME) -timeout 10m .
+
+# The benchmark regression gate: re-run the pinned serving-path
+# benchmarks and fail on a >30% ns/op or allocs/op regression against
+# the latest recorded session in BENCH_pr2.json (see cmd/benchjson
+# -compare for the exact rules; pins default inside the tool).
+bench-gate:
+	$(GO) test -run '^$$' -benchmem -count=3 -timeout 20m \
+	    -bench '^BenchmarkE(3Fig3FlatPageRank|4Fig4LayeredDocRank|10UpdateUnderLoad|13TenantServing)$$' . \
+	    | $(GO) run ./cmd/benchjson -compare BENCH_pr2.json
 
 # The perf trajectory: run the E-series benchmarks with allocation
 # reporting and record the session in BENCH_pr2.json under BENCH_LABEL

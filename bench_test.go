@@ -7,6 +7,7 @@ package lmmrank
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"lmmrank/internal/blockrank"
@@ -459,6 +460,87 @@ func BenchmarkE10UpdateUnderLoad(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := eng.Rank(ctx, Query{Tol: 1e-9}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkE13TenantServing measures the per-tenant serving kit end to
+// end: a TopKIndex engine with keyed admission (4 tenants under quota)
+// and similarity coalescing, answering a parallel mix of uniform and
+// site-personalized top-k queries from the maintained index while a
+// background churner keeps publishing 1-site Updates that patch it.
+// This is the serving configuration the PR-10 gate pins: top-k queries
+// skip the full re-rank, similar personalizations share one site-layer
+// solve, and Updates never drain the query stream.
+func BenchmarkE13TenantServing(b *testing.B) {
+	ctx := context.Background()
+	web := churnBenchWeb(2028)
+	eng, err := NewLocalEngine(web.Graph, EngineOptions{
+		Parallelism: 1,
+		MaxInFlight: 64,
+		TenantQuota: 16,
+		Coalesce:    true,
+		CoalesceTol: 1e-6,
+		TopKIndex:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns := eng.DocGraph().NumSites()
+	pers := make(Vector, ns)
+	for i := range pers {
+		pers[i] = (1 + float64(i%7)) / float64(ns*4)
+	}
+	var mass float64
+	for _, x := range pers {
+		mass += x
+	}
+	for i := range pers {
+		pers[i] /= mass
+	}
+	tenants := [...]string{"alpha", "beta", "gamma", "delta"}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := i
+			err := eng.Update(ctx, GraphDelta{
+				ChangedSites: []SiteID{SiteID(i % 80)},
+				Apply: func(dg *DocGraph) error {
+					churnEdit(dg, i)
+					return nil
+				},
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			q := Query{Tenant: tenants[i%len(tenants)], TopK: 10}
+			if i%2 == 1 {
+				q.SitePersonalization = pers
+			}
+			if _, err := eng.Rank(ctx, q); err != nil {
 				b.Error(err)
 				return
 			}

@@ -8,6 +8,22 @@
 // The output file maps labels (e.g. "before", "after") to records; each
 // record captures the environment and every benchmark's runs with all
 // reported metrics (ns/op, B/op, allocs/op, ...).
+//
+// With -compare the command becomes a CI regression gate instead of a
+// recorder: the fresh run on stdin is diffed against the trajectory
+// file, and the command exits nonzero when any pinned benchmark's best
+// ns/op or allocs/op regressed more than -max-regress percent over the
+// latest recorded session that contains it:
+//
+//	go test -run '^$' -bench '^BenchmarkE(3|4|10)' -benchmem -count=3 . |
+//	    benchjson -compare BENCH_pr2.json
+//
+// Nothing is written in compare mode. Comparisons use the best (minimum)
+// measurement on each side, the standard noise shield for best-effort CI
+// runners; a pinned benchmark missing from stdin fails the gate (the
+// E-series must not rot), while one missing from the whole trajectory
+// file is skipped with a note (its first recording creates the
+// baseline).
 package main
 
 import (
@@ -16,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -46,15 +63,23 @@ func main() {
 	}
 }
 
+// defaultPins are the serving-path benchmarks the CI gate watches: the
+// flat and layered solver baselines, snapshot serving under churn, and
+// the tenant serving kit.
+const defaultPins = "BenchmarkE3Fig3FlatPageRank,BenchmarkE4Fig4LayeredDocRank,BenchmarkE10UpdateUnderLoad,BenchmarkE13TenantServing"
+
 func run() error {
 	var (
-		label = flag.String("label", "", "label to store this session under (required)")
-		out   = flag.String("out", "", "JSON trajectory file to merge into (required)")
+		label      = flag.String("label", "", "label to store this session under (required unless -compare)")
+		out        = flag.String("out", "", "JSON trajectory file to merge into (required unless -compare)")
+		compare    = flag.String("compare", "", "gate mode: trajectory file to diff the fresh stdin run against (writes nothing)")
+		pins       = flag.String("pins", defaultPins, "comma-separated benchmarks the -compare gate checks")
+		maxRegress = flag.Float64("max-regress", 30, "percent ns/op or allocs/op regression the -compare gate tolerates")
 	)
 	flag.Parse()
-	if *label == "" || *out == "" {
+	if *compare == "" && (*label == "" || *out == "") {
 		flag.Usage()
-		return fmt.Errorf("-label and -out are required")
+		return fmt.Errorf("-label and -out are required (or -compare for gate mode)")
 	}
 
 	rec, err := parse(os.Stdin, os.Stdout)
@@ -63,6 +88,9 @@ func run() error {
 	}
 	if len(rec.Benchmarks) == 0 {
 		return fmt.Errorf("no Benchmark lines found on stdin")
+	}
+	if *compare != "" {
+		return runCompare(rec, *compare, strings.Split(*pins, ","), *maxRegress)
 	}
 
 	sessions := map[string]*Record{}
@@ -85,6 +113,93 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks under %q in %s\n",
 		len(rec.Benchmarks), *label, *out)
 	return nil
+}
+
+// runCompare is the gate: for every pinned benchmark, diff the fresh
+// record's best ns/op and allocs/op against the latest trajectory
+// session containing that benchmark, and fail past maxRegress percent.
+func runCompare(fresh *Record, path string, pins []string, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sessions := map[string]*Record{}
+	if err := json.Unmarshal(data, &sessions); err != nil {
+		return fmt.Errorf("%s is not a trajectory file: %w", path, err)
+	}
+	var failures []string
+	for _, pin := range pins {
+		pin = strings.TrimSpace(pin)
+		if pin == "" {
+			continue
+		}
+		runs, ok := fresh.Benchmarks[pin]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from the fresh run — the pinned benchmark rotted or the -bench pattern no longer matches it", pin))
+			continue
+		}
+		baseLabel, base := latestWith(sessions, pin)
+		if base == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no baseline in %s yet; skipping (record a session to create one)\n", pin, path)
+			continue
+		}
+		for _, metric := range []string{"ns/op", "allocs/op"} {
+			cur, curOK := best(runs, metric)
+			ref, refOK := best(base.Benchmarks[pin], metric)
+			if !refOK {
+				continue // the baseline never recorded this metric
+			}
+			if !curOK {
+				failures = append(failures, fmt.Sprintf("%s: fresh run reports no %s (run with -benchmem)", pin, metric))
+				continue
+			}
+			if ref == 0 {
+				if cur > 0 && metric == "allocs/op" {
+					failures = append(failures, fmt.Sprintf("%s: %s regressed 0 → %g (baseline %q)", pin, metric, cur, baseLabel))
+				}
+				continue
+			}
+			pct := (cur - ref) / ref * 100
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s: %g vs %g in %q (%+.1f%%)\n", pin, metric, cur, ref, baseLabel, pct)
+			if pct > maxRegress {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %+.1f%% (%g vs %g in %q, limit %+.0f%%)",
+					pin, metric, pct, cur, ref, baseLabel, maxRegress))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: bench gate passed")
+	return nil
+}
+
+// latestWith returns the most recently dated session containing name.
+// Dates are RFC3339 (UTC), so the lexicographic maximum is the latest.
+func latestWith(sessions map[string]*Record, name string) (string, *Record) {
+	var bestLabel string
+	var bestRec *Record
+	for label, rec := range sessions {
+		if len(rec.Benchmarks[name]) == 0 {
+			continue
+		}
+		if bestRec == nil || rec.Date > bestRec.Date {
+			bestLabel, bestRec = label, rec
+		}
+	}
+	return bestLabel, bestRec
+}
+
+// best returns the minimum value of metric across runs — the
+// least-noisy measurement each side gets judged by.
+func best(runs []Run, metric string) (float64, bool) {
+	v, ok := math.Inf(1), false
+	for _, r := range runs {
+		if m, has := r.Metrics[metric]; has && m < v {
+			v, ok = m, true
+		}
+	}
+	return v, ok
 }
 
 // parse scans go-test output, echoing every line to echo (so the tool

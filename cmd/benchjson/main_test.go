@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func record(date string, benches map[string][]Run) *Record {
+	return &Record{Date: date, Benchmarks: benches}
+}
+
+func writeTrajectory(t *testing.T, sessions map[string]*Record) string {
+	t.Helper()
+	data, err := json.Marshal(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runsOf(ns, allocs float64) []Run {
+	return []Run{
+		{Iterations: 1, Metrics: map[string]float64{"ns/op": ns * 1.2, "allocs/op": allocs}},
+		{Iterations: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}},
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	path := writeTrajectory(t, map[string]*Record{
+		"old": record("2026-01-01T00:00:00Z", map[string][]Run{
+			"BenchmarkA": runsOf(50, 10), // stale: a newer session supersedes it
+		}),
+		"new": record("2026-02-01T00:00:00Z", map[string][]Run{
+			"BenchmarkA": runsOf(100, 10),
+			"BenchmarkB": runsOf(200, 0),
+		}),
+	})
+
+	t.Run("withinLimitPasses", func(t *testing.T) {
+		fresh := record("", map[string][]Run{
+			"BenchmarkA": runsOf(120, 12), // +20% ns, +20% allocs
+			"BenchmarkB": runsOf(200, 0),
+		})
+		if err := runCompare(fresh, path, []string{"BenchmarkA", "BenchmarkB"}, 30); err != nil {
+			t.Errorf("gate failed within the limit: %v", err)
+		}
+	})
+	t.Run("nsRegressionFails", func(t *testing.T) {
+		fresh := record("", map[string][]Run{"BenchmarkA": runsOf(150, 10)})
+		err := runCompare(fresh, path, []string{"BenchmarkA"}, 30)
+		if err == nil || !strings.Contains(err.Error(), "ns/op") {
+			t.Errorf("+50%% ns/op err = %v, want an ns/op failure", err)
+		}
+	})
+	t.Run("allocRegressionFails", func(t *testing.T) {
+		fresh := record("", map[string][]Run{"BenchmarkA": runsOf(100, 20)})
+		err := runCompare(fresh, path, []string{"BenchmarkA"}, 30)
+		if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+			t.Errorf("doubled allocs err = %v, want an allocs/op failure", err)
+		}
+	})
+	t.Run("latestBaselineWins", func(t *testing.T) {
+		// 110 ns is +120% over the stale 50 ns baseline but only +10%
+		// over the latest session's 100 ns — the gate must use the latter.
+		fresh := record("", map[string][]Run{"BenchmarkA": runsOf(110, 10)})
+		if err := runCompare(fresh, path, []string{"BenchmarkA"}, 30); err != nil {
+			t.Errorf("gate compared against a stale session: %v", err)
+		}
+	})
+	t.Run("zeroAllocBaseline", func(t *testing.T) {
+		fresh := record("", map[string][]Run{"BenchmarkB": runsOf(200, 3)})
+		err := runCompare(fresh, path, []string{"BenchmarkB"}, 30)
+		if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+			t.Errorf("0→3 allocs err = %v, want an allocs/op failure", err)
+		}
+	})
+	t.Run("missingFromFreshFails", func(t *testing.T) {
+		fresh := record("", map[string][]Run{"BenchmarkA": runsOf(100, 10)})
+		err := runCompare(fresh, path, []string{"BenchmarkA", "BenchmarkGone"}, 30)
+		if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+			t.Errorf("rotted pin err = %v, want a BenchmarkGone failure", err)
+		}
+	})
+	t.Run("missingBaselineSkips", func(t *testing.T) {
+		fresh := record("", map[string][]Run{
+			"BenchmarkA":     runsOf(100, 10),
+			"BenchmarkFresh": runsOf(1, 1),
+		})
+		if err := runCompare(fresh, path, []string{"BenchmarkA", "BenchmarkFresh"}, 30); err != nil {
+			t.Errorf("unrecorded pin must skip, not fail: %v", err)
+		}
+	})
+}
+
+func TestParseStripsGOMAXPROCS(t *testing.T) {
+	in := strings.NewReader("BenchmarkX-8   100   12345 ns/op   67 B/op   8 allocs/op\n")
+	rec, err := parse(in, io_Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, ok := rec.Benchmarks["BenchmarkX"]
+	if !ok || len(runs) != 1 {
+		t.Fatalf("Benchmarks = %v, want one BenchmarkX run", rec.Benchmarks)
+	}
+	if runs[0].Metrics["ns/op"] != 12345 || runs[0].Metrics["allocs/op"] != 8 {
+		t.Errorf("metrics = %v", runs[0].Metrics)
+	}
+}
+
+// io_Discard avoids importing io just for a sink.
+type io_Discard struct{}
+
+func (io_Discard) Write(p []byte) (int, error) { return len(p), nil }

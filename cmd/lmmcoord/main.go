@@ -11,6 +11,7 @@
 //	         [-async-ordered] [-async-seed 42]
 //	         [-partition host|balanced|aggregate] [-partition-seed 0]
 //	         [-repartition-threshold 0.1]
+//	         [-tenant-quota 16] [-coalesce-tol 1e-6]
 //	         [-batch-rounds 4] [-max-worker-failures 1] [-max-redials 0]
 //	         [-checkpoint siterank.ckpt] [-resume] [-runs 2]
 //	         [-compress] [-timeout 30s]
@@ -25,6 +26,10 @@
 // -repartition-threshold records the cut-drift trigger in the run
 // config; it takes effect when the same config serves an updating
 // DistEngine (one-shot lmmcoord runs have no churn to react to).
+// -tenant-quota and -coalesce-tol are serving knobs of the same kind:
+// they record the per-tenant admission cap and the similarity tolerance
+// for query coalescing, consumed when the config serves a DistEngine
+// (a one-shot run admits exactly one query).
 // -max-worker-failures lets a
 // run survive peers dying mid-flight (their shards are reassigned);
 // -max-redials additionally redials lost peers in the background with
@@ -86,6 +91,8 @@ func run() error {
 		partName  = flag.String("partition", "balanced", "site placement strategy: host, balanced or aggregate")
 		partSeed  = flag.Int64("partition-seed", 0, "seed for the aggregate strategy's label propagation")
 		repartThr = flag.Float64("repartition-threshold", 0, "cut-fraction drift that triggers an online repartition when this config serves an updating engine (0 = disabled)")
+		tenantQ   = flag.Int("tenant-quota", 0, "per-tenant concurrent-query cap when this config serves a DistEngine (0 = no per-tenant cap)")
+		coalTol   = flag.Float64("coalesce-tol", 0, "similarity tolerance for query coalescing when this config serves a DistEngine (0 = exact-match only)")
 		runs      = flag.Int("runs", 1, "repeat the ranking; runs after the first hit the workers' shard caches")
 		compress  = flag.Bool("compress", false, "flate-compress shard payloads on the wire")
 		timeout   = flag.Duration("timeout", 0, "deadline per ranking run (0 = none); propagates into every worker exchange")
@@ -185,6 +192,8 @@ func run() error {
 		Compress:             *compress,
 		Partition:            strat,
 		RepartitionThreshold: *repartThr,
+		TenantQuota:          *tenantQ,
+		CoalesceTol:          *coalTol,
 		Retry: coordinator.RetryPolicy{
 			MaxWorkerFailures: *failures,
 			MaxRedials:        *redials,

@@ -131,11 +131,28 @@
 // bitwise, in fewer remaining rounds (DistStats.ResumedFromRound +
 // SiteRankRounds equals the uninterrupted total).
 //
-// Serving admission: EngineOptions.MaxInFlight caps concurrent queries
-// (queueing under ctx, or failing fast with ErrOverloaded when
-// RejectOverload is set), and Coalesce folds concurrent identical
-// queries into one computation, each caller receiving its own copy.
-// DistConfig carries the same knobs for DistEngine.
+// Serving admission is keyed by tenant: EngineOptions.MaxInFlight caps
+// concurrent queries engine-wide and TenantQuota caps each
+// Query.Tenant's share inside that cap (the tenant slot is taken
+// first, so one flooding tenant exhausts its own quota, never the
+// engine). Over-cap queries queue under ctx, or fail fast with
+// ErrOverloaded when RejectOverload is set — errors.As to
+// *OverloadError for the tenant and which gate refused. The empty
+// Tenant is the shared anonymous tenant; tenancy is an admission
+// identity only and never changes a query's answer (it is excluded
+// from the coalescing fingerprint). Coalesce folds concurrent
+// identical queries into one computation, each caller receiving its
+// own copy, and CoalesceTol widens the match to similar queries:
+// personalization vectors within CoalesceTol of each other in
+// normalized L1 may share one flight (scalar fields still match
+// bitwise; 0 keeps exact matching). EngineOptions.TopKIndex
+// (LocalEngine only) maintains per-site posting lists across Updates
+// so default-config top-k queries — uniform or site-personalized —
+// are answered from the index bit-identically to a full re-rank,
+// re-solving only the small site layer. ServingStats() on either
+// engine reports admissions, overloads per tenant, coalesced shares
+// and index serves. DistConfig carries the admission and coalescing
+// knobs for DistEngine.
 //
 // The expert-path equivalents are lmm-level: Ranker.Rebuild(changed) /
 // Ranker.RebuildOn(clone, changed) for the structural half and

@@ -20,6 +20,15 @@ import (
 // uniform two-layer ranking with default damping, tolerance and
 // iteration budget.
 type Query struct {
+	// Tenant names the caller for admission accounting: with
+	// EngineOptions.TenantQuota (or the DistConfig equivalent) set, each
+	// distinct Tenant gets its own concurrency quota beneath the
+	// engine-wide cap, so one flooding tenant exhausts only its own
+	// slots. The empty string is itself a tenant (the "anonymous" one).
+	// Tenant never affects the ranking answer and is excluded from the
+	// coalescing fingerprint — queries from different tenants may share
+	// one computation; each still receives its own copy.
+	Tenant string
 	// Damping is the PageRank damping factor / gatekeeper α. Zero is a
 	// sentinel selecting the default 0.85 — an explicit damping of
 	// exactly 0 cannot be requested, tiny positive values are honored.
@@ -167,11 +176,39 @@ type EngineOptions struct {
 	// ErrOverloaded for the caller to shed or retry elsewhere.
 	MaxInFlight    int
 	RejectOverload bool
+	// TenantQuota caps each Query.Tenant's concurrently admitted Rank
+	// calls (0 = no keyed admission). The tenant slot is taken before
+	// the engine-wide slot, so a tenant can never hold more than
+	// TenantQuota of the MaxInFlight budget: size MaxInFlight ≥ the sum
+	// of active tenants' quotas (or leave it 0) and no tenant can starve
+	// another. Over-quota calls queue or fail fast per RejectOverload,
+	// exactly as at the engine-wide gate.
+	TenantQuota int
 	// Coalesce merges concurrent identical queries: when several Rank
 	// calls with the same fingerprint overlap, one computes and the
 	// rest wait for it, each receiving its own caller-owned copy.
 	// Queries with a custom DomainOf are never coalesced.
 	Coalesce bool
+	// CoalesceTol widens Coalesce from identical to *similar* queries:
+	// personalization vectors are L1-normalized and bucketed to a grid
+	// of step CoalesceTol/len(v), so two queries landing in the same
+	// buckets share one solve. Personalized PageRank is 1-Lipschitz in
+	// the L1 norm of its teleport vector, so every coalesced caller's
+	// answer is within CoalesceTol (plus solver tolerance) of its exact
+	// one. 0 (the default) coalesces only bit-identical vectors.
+	CoalesceTol float64
+	// TopKIndex maintains a per-snapshot top-k index over the warm local
+	// solutions: the engine runs one refresh solve at construction and
+	// after every Update (patching only changed sites' posting lists),
+	// and serves eligible TopK queries — two-layer, default
+	// damping/tolerance/budget, no document-layer personalization — by a
+	// threshold merge over the index instead of a fresh solve plus a
+	// full re-rank of all documents. Served rankings are the snapshot's
+	// warm solution: within solver tolerance of an exact solve, and the
+	// Top table is bit-identical to fully sorting that same solution.
+	// LocalEngine only; DistEngine ignores it (its snapshots hold no
+	// warm local solutions to index — the fleet owns them).
+	TopKIndex bool
 }
 
 // validate rejects query-shape combinations no backend serves, keeping
@@ -244,9 +281,13 @@ type engineSnapshot struct {
 	seedSite   Vector
 	seedLocals []Vector
 	flights    *flightGroup
+	// topk is the maintained top-k index over seedLocals (nil unless
+	// EngineOptions.TopKIndex): immutable like everything else here, and
+	// sharing clean sites' posting lists with the previous snapshot.
+	topk *topkIndex
 }
 
-func newEngineSnapshot(dg *DocGraph, rk *lmm.Ranker, seedSite Vector, seedLocals []Vector) *engineSnapshot {
+func newEngineSnapshot(dg *DocGraph, rk *lmm.Ranker, seedSite Vector, seedLocals []Vector, topk *topkIndex) *engineSnapshot {
 	return &engineSnapshot{
 		dg:         dg,
 		base:       rk,
@@ -254,6 +295,7 @@ func newEngineSnapshot(dg *DocGraph, rk *lmm.Ranker, seedSite Vector, seedLocals
 		seedSite:   seedSite,
 		seedLocals: seedLocals,
 		flights:    newFlightGroup(),
+		topk:       topk,
 	}
 }
 
@@ -278,6 +320,9 @@ type LocalEngine struct {
 	parallelism int
 	admit       *admitGate
 	coalesce    bool
+	coalesceTol float64
+	topkIndex   bool
+	stats       servingCounters
 
 	// snap is the serving state; Rank loads it once and never looks
 	// back. Only Update stores it.
@@ -318,11 +363,26 @@ func NewLocalEngine(dg *DocGraph, opts EngineOptions) (*LocalEngine, error) {
 	rk.Prepare()
 	e := &LocalEngine{
 		parallelism: opts.Parallelism,
-		admit:       newAdmitGate(opts.MaxInFlight, opts.RejectOverload),
+		admit:       newAdmitGate(opts.MaxInFlight, opts.TenantQuota, opts.RejectOverload),
 		coalesce:    opts.Coalesce,
+		coalesceTol: opts.CoalesceTol,
+		topkIndex:   opts.TopKIndex,
 		dirty:       make(map[SiteID]bool),
 	}
-	e.snap.Store(newEngineSnapshot(dg, rk, nil, nil))
+	snap := newEngineSnapshot(dg, rk, nil, nil, nil)
+	if opts.TopKIndex {
+		// The maintained index needs a warm solution to index, so a
+		// TopKIndex engine front-loads the first solve to construction
+		// time (a plain engine defers it to the first query/Update).
+		wr, err := rk.Share().RankRefresh(nil, lmm.WebConfig{Parallelism: opts.Parallelism})
+		if err != nil {
+			return nil, err
+		}
+		seedLocals := cloneVectors(wr.LocalRanks)
+		snap = newEngineSnapshot(dg, rk, wr.SiteRank.Clone(), seedLocals, newTopkIndex(dg, seedLocals))
+	}
+	snap.flights.shared = &e.stats.coalesced
+	e.snap.Store(snap)
 	return e, nil
 }
 
@@ -399,17 +459,38 @@ func (e *LocalEngine) rebuildAndPublish(ctx context.Context, cur *engineSnapshot
 	// The refresh solve: default query parameters, warm-started from the
 	// previous seeds where the shapes survived (changed sites whose
 	// roster grew start cold automatically — seeds are shape-checked
-	// hints). Its solution is cloned into the new snapshot's seeds.
-	wr, err := next.Share().Rank(lmm.WebConfig{
+	// hints). Its solution is cloned into the new snapshot's seeds. A
+	// TopKIndex engine refreshes instead of re-solving: clean sites keep
+	// their previous local solutions bit-for-bit (a warm re-polish would
+	// drift them by an ulp), which is exactly what makes patching only
+	// the changed sites' posting lists sound.
+	cfg := lmm.WebConfig{
 		Parallelism: e.parallelism,
 		SiteStart:   cur.seedSite,
 		LocalStarts: cur.seedLocals,
 		Ctx:         ctx,
-	})
+	}
+	var wr *lmm.WebResult
+	if e.topkIndex {
+		wr, err = next.Share().RankRefresh(changed, cfg)
+	} else {
+		wr, err = next.Share().Rank(cfg)
+	}
 	if err != nil {
 		return normalizeCtxErr(ctx, err)
 	}
-	e.snap.Store(newEngineSnapshot(dg, next, wr.SiteRank.Clone(), cloneVectors(wr.LocalRanks)))
+	seedLocals := cloneVectors(wr.LocalRanks)
+	var topk *topkIndex
+	if e.topkIndex {
+		changedSet := make(map[SiteID]bool, len(changed))
+		for _, s := range changed {
+			changedSet[s] = true
+		}
+		topk = cur.topk.patch(dg, seedLocals, changedSet)
+	}
+	snap := newEngineSnapshot(dg, next, wr.SiteRank.Clone(), seedLocals, topk)
+	snap.flights.shared = &e.stats.coalesced
+	e.snap.Store(snap)
 	clear(e.dirty)
 	return nil
 }
@@ -426,16 +507,20 @@ func (e *LocalEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	if err := e.admit.acquire(ctx); err != nil {
+	if err := e.admit.acquire(ctx, q.Tenant); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			e.stats.overload(q.Tenant)
+		}
 		return nil, err
 	}
-	defer e.admit.release()
+	defer e.admit.release(q.Tenant)
+	e.stats.ranks.Add(1)
 	// One load pins the whole serving state: graph, core, pool, seeds.
 	// An Update publishing mid-query swaps the pointer for *later*
 	// queries; this one finishes on the snapshot it started on.
 	snap := e.snap.Load()
 	if e.coalesce {
-		if key, ok := q.fingerprint(); ok {
+		if key, ok := q.fingerprint(e.coalesceTol); ok {
 			return snap.flights.do(ctx, key, func() (*Result, error) {
 				return e.rankSnap(ctx, snap, q)
 			})
@@ -444,8 +529,65 @@ func (e *LocalEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	return e.rankSnap(ctx, snap, q)
 }
 
+// indexEligible reports whether q can serve from the snapshot's
+// maintained top-k index: a two-layer TopK query at the default
+// damping/tolerance/iteration budget with no document-layer
+// personalization and no LocalRanks request — exactly the queries whose
+// document layers equal the snapshot's warm solution, which is what the
+// index indexes. Site-layer personalization is eligible: the Partition
+// Theorem composes DocRank as siteWeight·localRank, so the posting
+// lists are valid under any site weighting and only the small site
+// layer needs solving.
+func (snap *engineSnapshot) indexEligible(q Query) bool {
+	return snap.topk != nil && q.TopK > 0 && !q.ThreeLayer &&
+		q.DocPersonalization == nil && !q.WantLocalRanks &&
+		q.Damping == 0 && q.Tol == 0 && q.MaxIter == 0
+}
+
+// rankFromIndex answers an eligible query from the snapshot's top-k
+// index: the served DocRank is the warm solution composed under the
+// query's site weights, and the Top table is a threshold merge over the
+// per-site posting lists — bit-identical to fully sorting that DocRank,
+// without touching the other N−k documents. ok=false means the query
+// was not eligible and must take the full solve path.
+func (e *LocalEngine) rankFromIndex(ctx context.Context, snap *engineSnapshot, q Query) (res *Result, ok bool, err error) {
+	if !snap.indexEligible(q) {
+		return nil, false, nil
+	}
+	weights := snap.seedSite
+	siteIters := 0
+	if q.SitePersonalization != nil {
+		// Only the site layer depends on the personalization; re-solve
+		// it (warm-started from the snapshot's πS) and keep the warm
+		// document layers.
+		rk := snap.pool.Get().(*lmm.Ranker)
+		defer snap.pool.Put(rk)
+		cfg := q.webConfig(ctx, e.parallelism)
+		cfg.SiteStart = snap.seedSite
+		sr, iters, serr := rk.RankSites(cfg)
+		if serr != nil {
+			return nil, true, normalizeCtxErr(ctx, serr)
+		}
+		// sr aliases the pooled Ranker's scratch; privatize before the
+		// deferred Put can hand that scratch to another query.
+		weights = sr.Clone()
+		siteIters = iters
+	}
+	e.stats.topkIndex.Add(1)
+	return &Result{
+		DocRank:         lmm.ComposeDocRank(snap.dg, weights, snap.seedLocals),
+		SiteRank:        weights.Clone(),
+		SiteIterations:  siteIters,
+		LocalIterations: make([]int, len(snap.dg.Sites)),
+		Top:             snap.topk.top(snap.dg, weights, q.TopK),
+	}, true, nil
+}
+
 // rankSnap runs one query against a pinned snapshot.
 func (e *LocalEngine) rankSnap(ctx context.Context, snap *engineSnapshot, q Query) (*Result, error) {
+	if res, ok, err := e.rankFromIndex(ctx, snap, q); ok {
+		return res, err
+	}
 	rk := snap.pool.Get().(*lmm.Ranker)
 	defer snap.pool.Put(rk)
 	cfg := q.webConfig(ctx, e.parallelism)
@@ -507,6 +649,11 @@ func (e *LocalEngine) rankSnap(ctx context.Context, snap *engineSnapshot, q Quer
 // returned pointer changes across Updates — re-fetch after updating
 // rather than caching the construction-time pointer.
 func (e *LocalEngine) DocGraph() *DocGraph { return e.snap.Load().dg }
+
+// ServingStats returns a point-in-time copy of the engine's cumulative
+// serving counters: admitted queries, admission rejections (total and
+// per tenant), coalesced shares and top-k index serves.
+func (e *LocalEngine) ServingStats() ServingStats { return e.stats.snapshot() }
 
 // cloneVectors deep-copies a slice of score vectors.
 func cloneVectors(vs []Vector) []Vector {
@@ -572,6 +719,7 @@ type DistEngine struct {
 	cfg          coordinator.Config
 	admit        *admitGate
 	coalesce     bool
+	stats        servingCounters
 	snap         atomic.Pointer[distSnapshot]
 	updateMu     sync.Mutex
 	dirty        map[SiteID]bool
@@ -586,7 +734,8 @@ var _ Engine = (*DistEngine)(nil)
 // queries ship near-zero shard bytes and hash zero digest bytes. cfg
 // supplies the transport knobs (SiteGraph aggregation, distributed or
 // batched SiteRank, retry policy, compression) and the serving knobs
-// (MaxInFlight, RejectOverload, Coalesce); its per-query fields —
+// (MaxInFlight, TenantQuota, RejectOverload, Coalesce, CoalesceTol);
+// its per-query fields —
 // Damping, Tol, MaxIter, SitePersonalization, ThreeLayer, DomainOf —
 // are ignored and overwritten from each Query. Mutate the graph only
 // through Update (or build a new engine); a mutation outside Update
@@ -599,11 +748,12 @@ func NewDistEngine(cl *Cluster, dg *DocGraph, cfg DistConfig) (*DistEngine, erro
 	e := &DistEngine{
 		coord:    cl.Coord,
 		cfg:      cfg,
-		admit:    newAdmitGate(cfg.MaxInFlight, cfg.RejectOverload),
+		admit:    newAdmitGate(cfg.MaxInFlight, cfg.TenantQuota, cfg.RejectOverload),
 		coalesce: cfg.Coalesce,
 		dirty:    make(map[SiteID]bool),
 	}
 	snap := &distSnapshot{dg: dg, rk: rk, flights: newFlightGroup()}
+	snap.flights.shared = &e.stats.coalesced
 	// With a partition strategy configured the engine pins the
 	// assignment per snapshot: every query serves under the same
 	// placement (stable digest caches) and Update measures cut-edge
@@ -660,6 +810,7 @@ func (e *DistEngine) rebuildAndPublish(cur *distSnapshot, dg *DocGraph, changed 
 	}
 	e.coord.RefreshPrepared(cur.rk, next, changed)
 	snap := &distSnapshot{dg: dg, rk: next, flights: newFlightGroup()}
+	snap.flights.shared = &e.stats.coalesced
 	if len(cur.asg.Owner) > 0 {
 		snap.asg, snap.baseCut = e.carryAssignment(cur, dg, next, changed)
 	}
@@ -720,13 +871,17 @@ func (e *DistEngine) Rank(ctx context.Context, q Query) (*Result, error) {
 	if q.DocPersonalization != nil {
 		return nil, fmt.Errorf("%w: document-layer personalization is not part of the distributed wire protocol; use LocalEngine", ErrUnsupportedQuery)
 	}
-	if err := e.admit.acquire(ctx); err != nil {
+	if err := e.admit.acquire(ctx, q.Tenant); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			e.stats.overload(q.Tenant)
+		}
 		return nil, err
 	}
-	defer e.admit.release()
+	defer e.admit.release(q.Tenant)
+	e.stats.ranks.Add(1)
 	snap := e.snap.Load()
 	if e.coalesce {
-		if key, ok := q.fingerprint(); ok {
+		if key, ok := q.fingerprint(e.cfg.CoalesceTol); ok {
 			return snap.flights.do(ctx, key, func() (*Result, error) {
 				return e.rankSnap(ctx, snap, q)
 			})
@@ -779,3 +934,8 @@ func (e *DistEngine) rankSnap(ctx context.Context, snap *distSnapshot, q Query) 
 // DocGraph returns the graph this engine currently serves; as on
 // LocalEngine, the pointer changes across Apply-path Updates.
 func (e *DistEngine) DocGraph() *DocGraph { return e.snap.Load().dg }
+
+// ServingStats returns a point-in-time copy of the engine's cumulative
+// serving counters (TopKIndexServes stays 0 — the maintained index is a
+// LocalEngine feature).
+func (e *DistEngine) ServingStats() ServingStats { return e.stats.snapshot() }

@@ -291,7 +291,7 @@ func TestEngineCoalesceConsultsFlights(t *testing.T) {
 		t.Fatalf("NewLocalEngine: %v", err)
 	}
 	q := Query{Tol: 1e-6}
-	key, ok := q.fingerprint()
+	key, ok := q.fingerprint(0)
 	if !ok {
 		t.Fatal("plain query not coalesceable")
 	}
@@ -321,7 +321,7 @@ func TestEngineCoalesceConsultsFlights(t *testing.T) {
 
 	// A query with a custom DomainOf must NOT consult the group (its
 	// fingerprint is undefined) — it computes for real.
-	if _, ok := (Query{DomainOf: identityDomainOf}).fingerprint(); ok {
+	if _, ok := (Query{DomainOf: identityDomainOf}).fingerprint(0); ok {
 		t.Error("DomainOf query reported a fingerprint")
 	}
 }

@@ -254,6 +254,14 @@ type Config struct {
 	MaxInFlight    int
 	RejectOverload bool
 	Coalesce       bool
+	// TenantQuota and CoalesceTol refine those knobs (again consumed by
+	// the root DistEngine only): TenantQuota caps each Query.Tenant's
+	// concurrently admitted queries beneath the engine-wide cap, and
+	// CoalesceTol > 0 lets Coalesce merge queries whose personalization
+	// vectors differ by less than the tolerance in L1, not just
+	// bit-identical ones.
+	TenantQuota int
+	CoalesceTol float64
 	// Partition selects the site→shard placement strategy (nil =
 	// partition.Balanced, the weighted-LPT default). The strategy only
 	// decides which worker serves which sites — the Partition Theorem

@@ -359,6 +359,79 @@ func (r *Ranker) rankLocal(s int, cfg *WebConfig) {
 	r.localIters[s] = res.Iterations
 }
 
+// RankRefresh is the Update-path refresh solve: like Rank, but a site
+// not listed in changed whose cfg.LocalStarts seed still matches its
+// subgraph shape keeps that previous local solution *verbatim* (zero
+// iterations) instead of re-polishing it. An untouched site's local
+// layer is already converged — the Layered Method makes it independent
+// of every other site — and carrying it bit-for-bit is what lets a
+// serving snapshot's top-k index patch only dirty sites' posting lists.
+// Changed sites (and any site without a shape-matching seed, including
+// every site on a cold first refresh) solve exactly as in Rank,
+// warm-started where the seed survived. The SiteRank always re-solves —
+// any link change can shift it — warm-started from cfg.SiteStart.
+//
+// The reused local vectors alias cfg.LocalStarts, not this Ranker's
+// scratch; the caller owns both sides (the Engine clones the result
+// into its snapshot either way).
+func (r *Ranker) RankRefresh(changed []graph.SiteID, cfg WebConfig) (*WebResult, error) {
+	r.ensureQueryState()
+	siteRank, siteIters, err := r.RankSites(cfg)
+	if err != nil {
+		return nil, err
+	}
+	changedSet := make(map[int]bool, len(changed))
+	for _, s := range changed {
+		changedSet[int(s)] = true
+	}
+	var pending []int
+	for s, st := range r.core.sites {
+		if st.fixed != nil {
+			r.localRanks[s] = st.fixed
+			r.localIters[s] = 0
+			continue
+		}
+		if !changedSet[s] && s < len(cfg.LocalStarts) && len(cfg.LocalStarts[s]) == st.sub.NumNodes() {
+			r.localRanks[s] = cfg.LocalStarts[s]
+			r.localIters[s] = 0
+			continue
+		}
+		pending = append(pending, s)
+	}
+	errs := r.errs
+	for s := range errs {
+		errs[s] = nil
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(pending) <= 1 {
+		for _, s := range pending {
+			r.rankLocal(s, &cfg)
+		}
+	} else {
+		c := cfg
+		ForEachParallel(len(pending), workers, func(i int) {
+			r.rankLocal(pending[i], &c)
+		})
+	}
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("lmm: refresh docrank of site %d (%s): %w",
+				s, r.core.dg.Sites[s].Name, err)
+		}
+	}
+	composeDocRankInto(r.docRank, r.core.dg, siteRank, r.localRanks)
+	return &WebResult{
+		DocRank:         r.docRank,
+		SiteRank:        siteRank,
+		LocalRanks:      r.localRanks,
+		SiteIterations:  siteIters,
+		LocalIterations: r.localIters,
+	}, nil
+}
+
 // Rank3 answers a three-layer (domain → site → page) query against the
 // precomputed structure: the domain layer and per-domain site-entry
 // distributions are computed fresh from the SiteGraph (they depend on

@@ -5,63 +5,255 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
 
-// ErrOverloaded reports a Rank call rejected at admission: the engine's
-// MaxInFlight cap is reached and RejectOverload is set. Shed the query
-// or retry on another replica; check with errors.Is.
+// ErrOverloaded reports a Rank call rejected at admission: the tenant's
+// quota or the engine-wide MaxInFlight cap is reached and RejectOverload
+// is set. Shed the query or retry on another replica; check with
+// errors.Is. The concrete error is an *OverloadError carrying the tenant
+// that was turned away — extract it with errors.As when a load shedder
+// needs to know who to back off.
 var ErrOverloaded = errors.New("lmmrank: engine overloaded")
 
-// admitGate is a counting-semaphore admission cap in front of Rank. A
-// nil gate (no cap configured) admits everything; all methods are
-// nil-safe so call sites stay unconditional.
-type admitGate struct {
-	slots  chan struct{}
-	reject bool
+// OverloadError is the concrete admission-rejection error. It matches
+// ErrOverloaded under errors.Is, so existing overload checks keep
+// working; errors.As additionally exposes which tenant was rejected and
+// at which gate, so per-tenant backoff and fairness accounting don't
+// have to parse error strings.
+type OverloadError struct {
+	// Tenant is the Query.Tenant of the rejected call ("" for an
+	// untenanted query).
+	Tenant string
+	// PerTenant reports whether the tenant's own quota rejected the
+	// call (true) or the engine-wide MaxInFlight cap did (false).
+	PerTenant bool
 }
 
-// newAdmitGate returns the gate for a MaxInFlight cap, or nil when no
-// cap was asked for.
-func newAdmitGate(max int, reject bool) *admitGate {
-	if max <= 0 {
+func (e *OverloadError) Error() string {
+	if e.PerTenant {
+		return fmt.Sprintf("lmmrank: engine overloaded (tenant %q quota)", e.Tenant)
+	}
+	return "lmmrank: engine overloaded (engine-wide cap)"
+}
+
+// Is makes errors.Is(err, ErrOverloaded) succeed for every admission
+// rejection, keyed or engine-wide.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// admitGate is the admission control in front of Rank: an optional
+// engine-wide counting semaphore (MaxInFlight) behind optional keyed
+// per-tenant semaphores (TenantQuota), so one flooding tenant exhausts
+// its own quota instead of the shared slots. A nil gate (no caps
+// configured) admits everything; all methods are nil-safe so call sites
+// stay unconditional.
+//
+// Acquisition order is tenant quota first, engine-wide cap second —
+// both released in reverse on failure — so a tenant can never hold more
+// engine slots than its quota, which is the starvation bound: size
+// MaxInFlight at least Σ quotas (or leave it 0) and a quiet tenant's
+// queries always find both gates open regardless of how hard another
+// tenant floods.
+type admitGate struct {
+	slots  chan struct{} // engine-wide cap; nil = uncapped
+	reject bool
+	quota  int // per-tenant cap; 0 = no keyed admission
+
+	mu      sync.Mutex
+	tenants map[string]*tenantGate
+}
+
+// tenantGate is one tenant's semaphore. refs counts callers holding or
+// waiting on it; the map entry lives exactly while refs > 0, so the
+// tenant table stays bounded by concurrent admissions rather than by
+// the set of tenant names ever seen.
+type tenantGate struct {
+	slots chan struct{}
+	refs  int
+}
+
+// newAdmitGate returns the gate for the configured caps, or nil when
+// neither an engine-wide cap nor a tenant quota was asked for.
+func newAdmitGate(maxInFlight, tenantQuota int, reject bool) *admitGate {
+	if maxInFlight <= 0 && tenantQuota <= 0 {
 		return nil
 	}
-	return &admitGate{slots: make(chan struct{}, max), reject: reject}
+	g := &admitGate{reject: reject}
+	if maxInFlight > 0 {
+		g.slots = make(chan struct{}, maxInFlight)
+	}
+	if tenantQuota > 0 {
+		g.quota = tenantQuota
+		g.tenants = make(map[string]*tenantGate)
+	}
+	return g
 }
 
-// acquire takes an admission slot: immediately if one is free,
-// otherwise failing fast with ErrOverloaded (reject mode) or queueing
-// until a slot frees or ctx aborts (queue mode).
-func (g *admitGate) acquire(ctx context.Context) error {
+// enter pins tenant's gate (creating it on first use) and takes a
+// reference; every enter must pair with exactly one leave.
+func (g *admitGate) enter(tenant string) *tenantGate {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tg := g.tenants[tenant]
+	if tg == nil {
+		tg = &tenantGate{slots: make(chan struct{}, g.quota)}
+		g.tenants[tenant] = tg
+	}
+	tg.refs++
+	return tg
+}
+
+// leave drops one reference on tenant's gate, deleting the entry when
+// no caller holds or waits on it anymore.
+func (g *admitGate) leave(tenant string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tg := g.tenants[tenant]
+	tg.refs--
+	if tg.refs == 0 {
+		delete(g.tenants, tenant)
+	}
+}
+
+// acquire takes the admission slots for one query — the tenant's quota
+// slot first (when TenantQuota is set), then an engine-wide slot (when
+// MaxInFlight is set). Each gate admits immediately if a slot is free,
+// otherwise fails fast with an *OverloadError (reject mode) or queues
+// until a slot frees or ctx aborts (queue mode). On any failure every
+// slot already taken is returned.
+func (g *admitGate) acquire(ctx context.Context, tenant string) error {
 	if g == nil {
 		return nil
 	}
-	select {
-	case g.slots <- struct{}{}:
-		return nil
-	default:
+	var tg *tenantGate
+	if g.quota > 0 {
+		tg = g.enter(tenant)
+		select {
+		case tg.slots <- struct{}{}:
+		default:
+			if g.reject {
+				g.leave(tenant)
+				return &OverloadError{Tenant: tenant, PerTenant: true}
+			}
+			select {
+			case tg.slots <- struct{}{}:
+			case <-ctx.Done():
+				g.leave(tenant)
+				return ctx.Err()
+			}
+		}
 	}
-	if g.reject {
-		return ErrOverloaded
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+		default:
+			if g.reject {
+				g.releaseTenant(tenant, tg)
+				return &OverloadError{Tenant: tenant}
+			}
+			select {
+			case g.slots <- struct{}{}:
+			case <-ctx.Done():
+				g.releaseTenant(tenant, tg)
+				return ctx.Err()
+			}
+		}
 	}
-	select {
-	case g.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return nil
 }
 
-// release returns an acquired slot. Must pair with a successful acquire.
-func (g *admitGate) release() {
+// releaseTenant undoes the tenant half of an acquire that failed at the
+// engine-wide gate.
+func (g *admitGate) releaseTenant(tenant string, tg *tenantGate) {
+	if tg == nil {
+		return
+	}
+	<-tg.slots
+	g.leave(tenant)
+}
+
+// release returns the slots of a successful acquire for tenant.
+func (g *admitGate) release(tenant string) {
 	if g == nil {
 		return
 	}
-	<-g.slots
+	if g.slots != nil {
+		<-g.slots
+	}
+	if g.quota > 0 {
+		g.mu.Lock()
+		tg := g.tenants[tenant]
+		g.mu.Unlock()
+		<-tg.slots
+		g.leave(tenant)
+	}
+}
+
+// ServingStats is a point-in-time snapshot of an engine's serving
+// counters, read with LocalEngine.ServingStats / DistEngine.ServingStats.
+// All counts are cumulative over the engine's lifetime.
+type ServingStats struct {
+	// Ranks counts queries admitted into the ranking phase (including
+	// those served by coalescing onto another caller's computation).
+	Ranks int64
+	// Overloads counts Rank calls rejected with ErrOverloaded, at
+	// either gate; TenantOverloads breaks the rejections down by the
+	// rejected Query.Tenant.
+	Overloads       int64
+	TenantOverloads map[string]int64
+	// CoalesceShared counts queries that were answered from another
+	// caller's in-flight computation instead of solving themselves.
+	CoalesceShared int64
+	// TopKIndexServes counts queries answered from the snapshot's
+	// maintained top-k index instead of a fresh solve + full re-rank.
+	TopKIndexServes int64
+}
+
+// servingCounters is the engines' shared counter block behind
+// ServingStats. The scalar counters are lock-free; the per-tenant
+// rejection map is small and cold (rejections only) so a mutex is fine.
+type servingCounters struct {
+	ranks     atomic.Int64
+	overloads atomic.Int64
+	coalesced atomic.Int64
+	topkIndex atomic.Int64
+
+	mu              sync.Mutex
+	tenantOverloads map[string]int64
+}
+
+// overload records one admission rejection.
+func (c *servingCounters) overload(tenant string) {
+	c.overloads.Add(1)
+	c.mu.Lock()
+	if c.tenantOverloads == nil {
+		c.tenantOverloads = make(map[string]int64)
+	}
+	c.tenantOverloads[tenant]++
+	c.mu.Unlock()
+}
+
+// snapshot copies the counters into a caller-owned ServingStats.
+func (c *servingCounters) snapshot() ServingStats {
+	s := ServingStats{
+		Ranks:           c.ranks.Load(),
+		Overloads:       c.overloads.Load(),
+		CoalesceShared:  c.coalesced.Load(),
+		TopKIndexServes: c.topkIndex.Load(),
+	}
+	c.mu.Lock()
+	if len(c.tenantOverloads) > 0 {
+		s.TenantOverloads = make(map[string]int64, len(c.tenantOverloads))
+		for k, v := range c.tenantOverloads {
+			s.TenantOverloads[k] = v
+		}
+	}
+	c.mu.Unlock()
+	return s
 }
 
 // flight is one in-progress computation other callers may wait on.
@@ -75,16 +267,18 @@ type flight struct {
 	err     error
 }
 
-// flightGroup coalesces concurrent identical queries: the first caller
+// flightGroup coalesces concurrent similar queries: the first caller
 // for a fingerprint becomes the leader and computes; callers arriving
 // while the flight is open wait on it and receive their own deep copy
 // of the leader's result (the leader gets a copy too — the stored
 // result stays private, so no two callers ever alias memory). Each
 // serving snapshot owns one group, so queries only ever coalesce onto
-// work running against their own snapshot.
+// work running against their own snapshot. shared, when non-nil, counts
+// the waiters served from someone else's computation.
 type flightGroup struct {
-	mu sync.Mutex
-	m  map[string]*flight
+	mu     sync.Mutex
+	m      map[string]*flight
+	shared *atomic.Int64
 }
 
 func newFlightGroup() *flightGroup {
@@ -117,6 +311,9 @@ func (fg *flightGroup) do(ctx context.Context, key string, fn func() (*Result, e
 				}
 				return nil, f.err
 			}
+			if fg.shared != nil {
+				fg.shared.Add(1)
+			}
 			return cloneResult(f.res), nil
 		}
 		f := &flight{done: make(chan struct{})}
@@ -137,11 +334,23 @@ func (fg *flightGroup) do(ctx context.Context, key string, fn func() (*Result, e
 // fingerprint returns a collision-resistant key over every field that
 // determines a query's answer, and whether the query is coalesceable at
 // all. A non-nil DomainOf is not — function identity cannot be hashed —
-// and such queries always compute individually. The encoding is
-// injective: every variable-length field is length-prefixed and the
-// map is serialized in sorted key order, so distinct queries cannot
-// collide by concatenation.
-func (q Query) fingerprint() (string, bool) {
+// and such queries always compute individually. Tenant is deliberately
+// excluded: it names the caller for admission, not the answer, and a
+// coalesced result is a private copy either way. The encoding is
+// injective per tolerance: every variable-length field is
+// length-prefixed and the map is serialized in sorted key order, so
+// distinct queries cannot collide by concatenation.
+//
+// tol is the similarity-coalescing tolerance (EngineOptions.CoalesceTol).
+// At tol = 0 personalization vectors hash by exact float bits — only
+// bit-identical queries share a key. At tol > 0 each vector is first
+// L1-normalized (the solvers normalize too, so proportional vectors are
+// the same query) and then bucketed to a grid of step tol/len(v): two
+// vectors landing in the same buckets differ by less than tol in L1
+// after normalization, and personalized PageRank is 1-Lipschitz in the
+// L1 norm of its teleport vector, so the coalesced answer is within tol
+// of each caller's exact answer (plus solver tolerance).
+func (q Query) fingerprint(tol float64) (string, bool) {
 	if q.DomainOf != nil {
 		return "", false
 	}
@@ -152,6 +361,41 @@ func (q Query) fingerprint() (string, bool) {
 		h.Write(buf[:])
 	}
 	putF := func(f float64) { putU(math.Float64bits(f)) }
+	putVec := func(v Vector) {
+		putU(uint64(len(v)))
+		if tol <= 0 {
+			putU(0) // branch tag: exact bits
+			for _, x := range v {
+				putF(x)
+			}
+			return
+		}
+		var mass float64
+		for _, x := range v {
+			mass += x
+		}
+		if math.IsNaN(mass) || math.IsInf(mass, 0) || mass <= 0 {
+			// Not a cleanly normalizable vector (validate rejects most of
+			// these before admission; an infinite mass slips through) —
+			// fall back to exact bits rather than divide by a degenerate
+			// mass. The branch tag keeps a raw encoding from ever
+			// colliding with a bucketed one.
+			putU(0)
+			for _, x := range v {
+				putF(x)
+			}
+			return
+		}
+		putU(1) // branch tag: quantized buckets
+		step := tol / float64(len(v))
+		for _, x := range v {
+			// The bucket stays a float (math.Round yields an exact
+			// integer-valued float64), so enormous ratios degrade to
+			// coarse buckets instead of overflowing an int conversion.
+			putF(math.Round(x / mass / step))
+		}
+	}
+	putF(tol)
 	putF(q.Damping)
 	putF(q.Tol)
 	putU(uint64(int64(q.MaxIter)))
@@ -170,10 +414,7 @@ func (q Query) fingerprint() (string, bool) {
 		flags |= 8
 	}
 	putU(flags)
-	putU(uint64(len(q.SitePersonalization)))
-	for _, v := range q.SitePersonalization {
-		putF(v)
-	}
+	putVec(q.SitePersonalization)
 	putU(uint64(len(q.DocPersonalization)))
 	if len(q.DocPersonalization) > 0 {
 		sites := make([]SiteID, 0, len(q.DocPersonalization))
@@ -183,11 +424,7 @@ func (q Query) fingerprint() (string, bool) {
 		sort.Slice(sites, func(a, b int) bool { return sites[a] < sites[b] })
 		for _, s := range sites {
 			putU(uint64(int64(s)))
-			v := q.DocPersonalization[s]
-			putU(uint64(len(v)))
-			for _, x := range v {
-				putF(x)
-			}
+			putVec(q.DocPersonalization[s])
 		}
 	}
 	return string(h.Sum(nil)), true
